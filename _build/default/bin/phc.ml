@@ -1,0 +1,155 @@
+(* phc: command-line front end of the Paulihedral compiler.
+
+   Reads a textual Pauli IR program (see lib/pauli_ir/parser.mli and the
+   examples/ directory for the concrete syntax), compiles it for the
+   requested backend, certifies the result with the Pauli-frame verifier
+   and prints metrics and (optionally) the gate sequence.
+
+     phc input.pauli --backend sc --device manhattan --schedule do
+     phc input.pauli --param dt=0.1 --print-circuit *)
+
+open Paulihedral
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_device spec =
+  match String.split_on_char ':' spec with
+  | [ "manhattan" ] -> Ok Ph_hardware.Devices.manhattan
+  | [ "melbourne" ] -> Ok Ph_hardware.Devices.melbourne
+  | [ "line"; n ] ->
+    (try Ok (Ph_hardware.Devices.line (int_of_string n))
+     with _ -> Error (`Msg "line:N needs an integer"))
+  | [ "grid"; dims ] ->
+    (match String.split_on_char 'x' dims with
+    | [ r; c ] ->
+      (try Ok (Ph_hardware.Devices.grid (int_of_string r) (int_of_string c))
+       with _ -> Error (`Msg "grid:RxC needs integers"))
+    | _ -> Error (`Msg "grid:RxC needs RxC"))
+  | _ -> Error (`Msg "unknown device (manhattan | melbourne | line:N | grid:RxC)")
+
+let parse_param spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+    let name = String.sub spec 0 i in
+    (try Ok (name, float_of_string (String.sub spec (i + 1) (String.length spec - i - 1)))
+     with _ -> Error (`Msg "parameter binding needs name=float"))
+  | None -> Error (`Msg "parameter binding needs name=float")
+
+let schedule_of = function
+  | "gco" -> Ok Config.Gco
+  | "do" -> Ok Config.Depth_oriented
+  | "maxov" -> Ok Config.Max_overlap
+  | "none" -> Ok Config.Program_order
+  | s -> Error (`Msg (Printf.sprintf "unknown schedule %S (gco | do | maxov | none)" s))
+
+let run file backend device schedule params print_circuit no_verify output =
+  match
+    let source = read_file file in
+    let program = Ph_pauli_ir.Parser.parse ~params source in
+    let out =
+      match backend with
+      | "ft" -> Compiler.compile (Config.ft ~schedule ()) program
+      | "it" -> Compiler.compile (Config.ion_trap ~schedule ()) program
+      | "sc" ->
+        (match parse_device device with
+        | Ok coupling -> Compiler.compile (Config.sc ~schedule coupling) program
+        | Error (`Msg m) -> failwith m)
+      | b -> failwith (Printf.sprintf "unknown backend %S (ft | sc | it)" b)
+    in
+    Ok (program, out)
+  with
+  | exception Sys_error m -> prerr_endline m; 1
+  | exception Failure m -> prerr_endline m; 1
+  | exception Ph_pauli_ir.Parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    1
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (program, out) ->
+    Printf.printf "program: %d qubits, %d blocks, %d Pauli strings\n"
+      (Ph_pauli_ir.Program.n_qubits program)
+      (Ph_pauli_ir.Program.block_count program)
+      (Ph_pauli_ir.Program.term_count program);
+    Printf.printf "compiled: %s\n" (Format.asprintf "%a" Report.pp_metrics out.Compiler.metrics);
+    let ok =
+      no_verify
+      ||
+      match out.Compiler.initial_layout, out.Compiler.final_layout with
+      | Some initial, Some final ->
+        Ph_verify.Pauli_frame.verify_sc ~circuit:out.Compiler.circuit
+          ~trace:out.Compiler.rotations ~initial ~final
+      | _ ->
+        Ph_verify.Pauli_frame.verify_ft out.Compiler.circuit
+          ~trace:out.Compiler.rotations
+    in
+    if not no_verify then Printf.printf "verified: %b\n" ok;
+    if print_circuit then
+      Array.iter
+        (fun g -> print_endline (Ph_gatelevel.Gate.to_string g))
+        (Ph_gatelevel.Circuit.gates out.Compiler.circuit);
+    (match output with
+    | Some path ->
+      let oc = open_out path in
+      Ph_gatelevel.Qasm.export_to_channel oc out.Compiler.circuit;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    if ok then 0 else 2
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pauli IR source file.")
+
+let backend_arg =
+  Arg.(value & opt string "ft" & info [ "backend"; "b" ] ~docv:"BACKEND"
+         ~doc:"Target backend: $(b,ft) (fault-tolerant, all-to-all) , $(b,sc) (superconducting, coupling-constrained) or $(b,it) (trapped-ion, native MS gates).")
+
+let device_arg =
+  Arg.(value & opt string "manhattan" & info [ "device"; "d" ] ~docv:"DEVICE"
+         ~doc:"SC device: manhattan, melbourne, line:N or grid:RxC.")
+
+let sched_conv =
+  Arg.conv
+    ( (fun s -> schedule_of s),
+      fun fmt s ->
+        Format.pp_print_string fmt
+          (match s with
+          | Config.Gco -> "gco"
+          | Config.Depth_oriented -> "do"
+          | Config.Max_overlap -> "maxov"
+          | Config.Program_order -> "none") )
+
+let schedule_arg =
+  Arg.(value & opt sched_conv Config.Gco & info [ "schedule"; "s" ] ~docv:"SCHEDULE"
+         ~doc:"Block scheduling pass: $(b,gco), $(b,do), $(b,maxov) or $(b,none).")
+
+let param_conv =
+  Arg.conv ((fun s -> parse_param s), fun fmt (n, v) -> Format.fprintf fmt "%s=%g" n v)
+
+let params_arg =
+  Arg.(value & opt_all param_conv [] & info [ "param"; "p" ] ~docv:"NAME=VALUE"
+         ~doc:"Bind a symbolic block parameter (repeatable).")
+
+let print_circuit_arg =
+  Arg.(value & flag & info [ "print-circuit" ] ~doc:"Dump the gate sequence.")
+
+let no_verify_arg =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip Pauli-frame verification.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Write the compiled circuit as OpenQASM 2.0.")
+
+let cmd =
+  let doc = "compile quantum simulation kernels with Paulihedral" in
+  Cmd.v
+    (Cmd.info "phc" ~version:"1.0" ~doc)
+    Term.(
+      const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
+      $ print_circuit_arg $ no_verify_arg $ output_arg)
+
+let () = exit (Cmd.eval' cmd)

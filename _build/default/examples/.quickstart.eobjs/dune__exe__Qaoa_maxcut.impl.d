@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Devices Graphs Noise_model Option Paulihedral Ph_baselines Ph_benchmarks Ph_gatelevel Ph_hardware Ph_sim Ph_synthesis Pipelines Printf Qaoa Report

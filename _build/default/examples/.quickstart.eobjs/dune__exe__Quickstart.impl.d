@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Format Option Paulihedral Ph_gatelevel Ph_hardware Ph_pauli_ir Ph_verify Report

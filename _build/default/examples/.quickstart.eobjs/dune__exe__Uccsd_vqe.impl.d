@@ -1,0 +1,1 @@
+examples/uccsd_vqe.ml: Block Config List Paulihedral Ph_benchmarks Ph_hardware Ph_pauli_ir Pipelines Printf Program Report

@@ -1,0 +1,85 @@
+(* Trotterized time evolution of a Heisenberg spin chain: compile the
+   kernel, simulate the compiled circuit, and check observables against
+   the exact reference — then show the same kernel compiling at the
+   paper's 30-qubit scale where dense simulation is impossible but the
+   Pauli-frame verifier still certifies the circuit.
+
+     dune exec examples/ising_dynamics.exe *)
+
+open Paulihedral
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_linalg
+
+let n_small = 6
+let time = 0.6
+
+let chain_terms n j =
+  List.concat_map
+    (fun (a, b) ->
+      List.map
+        (fun op -> Pauli_term.make (Pauli_string.of_support n [ a, op; b, op ]) j)
+        [ Pauli.X; Pauli.Y; Pauli.Z ])
+    (Ph_benchmarks.Lattice.edges [ n ])
+
+(* ⟨Z_0⟩ of the compiled circuit applied to |100...0⟩. *)
+let z0_after circuit =
+  let sv = Statevector.basis n_small 1 in
+  Ph_gatelevel.Circuit.apply circuit sv;
+  let z = ref 0. in
+  for k = 0 to Statevector.dim sv - 1 do
+    let sign = if k land 1 = 0 then 1. else -1. in
+    z := !z +. (sign *. Statevector.prob sv k)
+  done;
+  !z
+
+let () =
+  Printf.printf "Heisenberg chain on %d qubits, evolving to t=%.2f\n\n" n_small time;
+  Printf.printf "%8s %12s %12s %10s\n" "steps" "<Z0> trotter" "<Z0> exact" "gate count";
+  (* Reference: a very fine Trotterization stands in for exp(-iHt). *)
+  let reference =
+    Trotter.trotterize ~n_qubits:n_small ~terms:(chain_terms n_small 1.0) ~time
+      ~steps:256
+  in
+  let exact_z0 =
+    let u = Semantics.kernel_unitary reference in
+    let sv = Statevector.basis n_small 1 in
+    let amps = Array.init (Statevector.dim sv) (Statevector.amplitude sv) in
+    let out = Matrix.apply_vec u amps in
+    let z = ref 0. in
+    Array.iteri
+      (fun k a ->
+        let sign = if k land 1 = 0 then 1. else -1. in
+        z := !z +. (sign *. Cplx.norm2 a))
+      out;
+    !z
+  in
+  List.iter
+    (fun steps ->
+      let program =
+        Trotter.trotterize ~n_qubits:n_small ~terms:(chain_terms n_small 1.0) ~time
+          ~steps
+      in
+      (* Program order: GCO/DO may reorder blocks — the IR's semantics
+         (the represented Hamiltonian) permits it, but it would merge the
+         repeated Trotter steps and change the approximation error this
+         example is measuring. *)
+      let compiled = Compiler.compile_ft ~schedule:Config.Program_order program in
+      assert (Ph_verify.Pauli_frame.verify_ft compiled.Compiler.circuit
+                ~trace:compiled.Compiler.rotations);
+      Printf.printf "%8d %12.6f %12.6f %10d\n" steps
+        (z0_after compiled.Compiler.circuit)
+        exact_z0 compiled.Compiler.metrics.Report.total)
+    [ 1; 2; 4; 8; 16 ];
+
+  (* Paper scale: 30 qubits — far beyond dense simulation, still
+     compiled and certified in milliseconds. *)
+  let program = Ph_benchmarks.Heisenberg.paper_benchmark 2 in
+  let compiled = Compiler.compile_ft ~schedule:Config.Depth_oriented program in
+  Printf.printf
+    "\nHeisen-2D at paper scale (30 qubits, %d strings): %s\n"
+    (Program.term_count program)
+    (Format.asprintf "%a" Report.pp_metrics compiled.Compiler.metrics);
+  Printf.printf "certified by the Pauli-frame verifier: %b\n"
+    (Ph_verify.Pauli_frame.verify_ft compiled.Compiler.circuit
+       ~trace:compiled.Compiler.rotations)

@@ -1,0 +1,1 @@
+lib/baselines/qaoa_compiler.ml: Block Circuit Coupling Emit Gate Layout List Pauli Pauli_string Pauli_term Ph_gatelevel Ph_hardware Ph_pauli Ph_pauli_ir Ph_synthesis Printf Program

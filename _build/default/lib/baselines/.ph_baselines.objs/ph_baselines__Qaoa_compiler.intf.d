@@ -1,0 +1,1 @@
+lib/baselines/qaoa_compiler.mli: Circuit Coupling Layout Pauli_string Ph_gatelevel Ph_hardware Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/baselines/router.ml: Array Circuit Coupling Gate Layout List Ph_gatelevel Ph_hardware

@@ -1,0 +1,1 @@
+lib/baselines/router.mli: Circuit Coupling Layout Ph_gatelevel Ph_hardware

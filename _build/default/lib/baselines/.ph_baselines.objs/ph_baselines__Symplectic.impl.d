@@ -1,0 +1,1 @@
+lib/baselines/symplectic.ml: Array Float Gate List Pauli Pauli_string Ph_gatelevel Ph_pauli Printf

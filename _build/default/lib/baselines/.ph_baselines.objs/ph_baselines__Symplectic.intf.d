@@ -1,0 +1,1 @@
+lib/baselines/symplectic.mli: Gate Pauli_string Ph_gatelevel Ph_pauli

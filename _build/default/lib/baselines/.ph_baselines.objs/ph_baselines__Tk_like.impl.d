@@ -1,0 +1,1 @@
+lib/baselines/tk_like.ml: Block Circuit Emit Gate List Pauli_string Pauli_term Ph_gatelevel Ph_pauli Ph_pauli_ir Ph_synthesis Program Symplectic

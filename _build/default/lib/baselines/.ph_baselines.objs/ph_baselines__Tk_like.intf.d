@@ -1,0 +1,1 @@
+lib/baselines/tk_like.mli: Emit Ph_pauli Ph_pauli_ir Ph_synthesis Program

@@ -1,0 +1,96 @@
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+open Ph_synthesis
+
+type result = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+type zz = { a : int; b : int; theta : float; str : Pauli_string.t }
+
+let classify prog =
+  let singles = ref [] and pairs = ref [] in
+  List.iter
+    (fun (blk : Block.t) ->
+      List.iter
+        (fun (t : Pauli_term.t) ->
+          let theta = Emit.angle (Block.param blk) t.coeff in
+          match Pauli_string.support t.str with
+          | [] -> ()
+          | [ q ] when Pauli_string.get t.str q = Pauli.Z ->
+            singles := (q, theta, t.str) :: !singles
+          | [ a; b ]
+            when Pauli_string.get t.str a = Pauli.Z && Pauli_string.get t.str b = Pauli.Z ->
+            pairs := { a; b; theta; str = t.str } :: !pairs
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Qaoa_compiler.compile: non-Ising term %s"
+                 (Pauli_string.to_string t.str)))
+        (Block.terms blk))
+    (Program.blocks prog);
+  List.rev !singles, List.rev !pairs
+
+let compile ~coupling prog =
+  let singles, pairs = classify prog in
+  let n_logical = Program.n_qubits prog in
+  let layout = Layout.most_connected coupling ~n_logical in
+  let initial_layout = Layout.copy layout in
+  let out = Circuit.Builder.create (Coupling.n_qubits coupling) in
+  let rotations = ref [] in
+  (* Single-Z rotations never need routing. *)
+  List.iter
+    (fun (q, theta, str) ->
+      Circuit.Builder.add out (Gate.Rz (theta, Layout.phys layout q));
+      rotations := (str, theta) :: !rotations)
+    singles;
+  let emit_zz zz =
+    let pa = Layout.phys layout zz.a and pb = Layout.phys layout zz.b in
+    Circuit.Builder.add_list out
+      [ Gate.Cnot (pa, pb); Gate.Rz (zz.theta, pb); Gate.Cnot (pa, pb) ];
+    rotations := (zz.str, zz.theta) :: !rotations
+  in
+  let pending = ref pairs in
+  while !pending <> [] do
+    let adjacent, rest =
+      List.partition
+        (fun zz ->
+          Coupling.adjacent coupling (Layout.phys layout zz.a) (Layout.phys layout zz.b))
+        !pending
+    in
+    if adjacent <> [] then begin
+      List.iter emit_zz adjacent;
+      pending := rest
+    end
+    else begin
+      (* Move the closest pending pair one hop together. *)
+      let dist zz =
+        Coupling.distance coupling (Layout.phys layout zz.a) (Layout.phys layout zz.b)
+      in
+      let closest =
+        List.fold_left
+          (fun acc zz ->
+            match acc with Some best when dist best <= dist zz -> acc | _ -> Some zz)
+          None !pending
+      in
+      match closest with
+      | None -> assert false
+      | Some zz ->
+        let pa = Layout.phys layout zz.a and pb = Layout.phys layout zz.b in
+        (match Coupling.shortest_path coupling pa pb with
+        | p0 :: p1 :: _ when p1 <> pb ->
+          Circuit.Builder.add out (Gate.Swap (p0, p1));
+          Layout.swap_physical layout p0 p1
+        | _ -> invalid_arg "Qaoa_compiler.compile: unexpected path")
+    end
+  done;
+  {
+    circuit = Circuit.Builder.to_circuit out;
+    rotations = List.rev !rotations;
+    initial_layout;
+    final_layout = layout;
+  }

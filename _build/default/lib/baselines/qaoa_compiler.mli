@@ -1,0 +1,24 @@
+(** Algorithm-specific QAOA compiler baseline (Alam et al., "QAOA
+    compiler" in Table 3): greedy per-gate scheduling of ZZ interactions.
+
+    At every step all currently-adjacent ZZ terms execute; when none are
+    adjacent, one SWAP moves the closest pending pair one hop together.
+    This per-gate greedy search is exactly the narrow scope Paulihedral's
+    block-wise SWAP search widens. *)
+
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+
+type result = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+(** [compile ~coupling p] — [p] must be a MaxCut/Ising-style kernel:
+    every string Z-only with weight 1 or 2.
+    @raise Invalid_argument otherwise. *)
+val compile : coupling:Coupling.t -> Program.t -> result

@@ -1,0 +1,96 @@
+open Ph_gatelevel
+open Ph_hardware
+
+type result = {
+  circuit : Circuit.t;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+let route ?(initial = `Most_connected) ?(lookahead = 20) ~coupling circuit =
+  let n_logical = Circuit.n_qubits circuit in
+  let n_phys = Coupling.n_qubits coupling in
+  if n_logical > n_phys then invalid_arg "Router.route: circuit larger than device";
+  let layout =
+    match initial with
+    | `Identity -> Layout.identity n_logical n_phys
+    | `Most_connected -> Layout.most_connected coupling ~n_logical
+  in
+  let initial_layout = Layout.copy layout in
+  let gates = Circuit.gates circuit in
+  let m = Array.length gates in
+  (* Upcoming two-qubit gates for the lookahead score. *)
+  let future = Array.make m [] in
+  let rec fill i acc =
+    if i >= 0 then begin
+      future.(i) <- acc;
+      let acc' =
+        match gates.(i) with
+        | Gate.Cnot (a, b) | Gate.Swap (a, b) ->
+          (a, b) :: (if List.length acc >= lookahead then List.filteri (fun k _ -> k < lookahead - 1) acc else acc)
+        | _ -> acc
+      in
+      fill (i - 1) acc'
+    end
+  in
+  fill (m - 1) [];
+  let out = Circuit.Builder.create n_phys in
+  let dist a b = Coupling.distance coupling a b in
+  let score_future fut =
+    let decay = 0.5 in
+    let rec go weight = function
+      | [] -> 0.
+      | (a, b) :: rest ->
+        (weight *. float_of_int (dist (Layout.phys layout a) (Layout.phys layout b)))
+        +. go (weight *. decay) rest
+    in
+    go 1. fut
+  in
+  Array.iteri
+    (fun i g ->
+      match Gate.qubits g with
+      | [ q ] -> Circuit.Builder.add out (Gate.remap (fun _ -> Layout.phys layout q) g)
+      | [ a; b ] ->
+        let rec bring () =
+          let pa = Layout.phys layout a and pb = Layout.phys layout b in
+          if not (Coupling.adjacent coupling pa pb) then begin
+            (* Candidate swaps: edges touching either endpoint that
+               strictly reduce their distance. *)
+            let candidates =
+              List.concat_map
+                (fun p ->
+                  List.filter_map
+                    (fun nb ->
+                      let d_now = dist pa pb in
+                      let pa' = if nb = pa then p else if p = pa then nb else pa in
+                      let pb' = if nb = pb then p else if p = pb then nb else pb in
+                      if dist pa' pb' < d_now then Some (p, nb) else None)
+                    (Coupling.neighbors coupling p))
+                [ pa; pb ]
+            in
+            let best = ref None in
+            List.iter
+              (fun (u, v) ->
+                Layout.swap_physical layout u v;
+                let s =
+                  float_of_int (dist (Layout.phys layout a) (Layout.phys layout b))
+                  +. score_future future.(i)
+                in
+                Layout.swap_physical layout u v;
+                match !best with
+                | Some (s', _) when s' <= s -> ()
+                | _ -> best := Some (s, (u, v)))
+              candidates;
+            (match !best with
+            | Some (_, (u, v)) ->
+              Circuit.Builder.add out (Gate.Swap (u, v));
+              Layout.swap_physical layout u v
+            | None -> invalid_arg "Router.route: stuck (disconnected device?)");
+            bring ()
+          end
+        in
+        bring ();
+        Circuit.Builder.add out (Gate.remap (Layout.phys layout) g)
+      | _ -> assert false)
+    gates;
+  { circuit = Circuit.Builder.to_circuit out; initial_layout; final_layout = layout }

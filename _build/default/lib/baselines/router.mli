@@ -1,0 +1,28 @@
+(** Generic qubit router: the mapping stage of the "industry generic
+    compiler" configurations (the role Qiskit L3's SABRE-style routing
+    plays for the TK and naive baselines on the SC backend).
+
+    Greedy with lookahead: whenever the next two-qubit gate's endpoints
+    are not adjacent, insert the SWAP that (a) strictly shortens their
+    distance and (b) minimizes a decayed sum of distances of upcoming
+    two-qubit gates. *)
+
+open Ph_gatelevel
+open Ph_hardware
+
+type result = {
+  circuit : Circuit.t;  (** physical qubits, SWAPs not decomposed *)
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+(** [route ~coupling c] — [c] is a logical circuit; its qubit count must
+    not exceed the device's.  [lookahead] (default 20) is the window of
+    upcoming two-qubit gates scored; [initial] picks the starting layout
+    (default [`Most_connected]). *)
+val route :
+  ?initial:[ `Identity | `Most_connected ] ->
+  ?lookahead:int ->
+  coupling:Coupling.t ->
+  Circuit.t ->
+  result

@@ -1,0 +1,105 @@
+open Ph_pauli
+open Ph_gatelevel
+
+let xz_of_op = function
+  | Pauli.I -> 0, 0
+  | Pauli.X -> 1, 0
+  | Pauli.Y -> 1, 1
+  | Pauli.Z -> 0, 1
+
+let op_of_xz = function
+  | 0, 0 -> Pauli.I
+  | 1, 0 -> Pauli.X
+  | 1, 1 -> Pauli.Y
+  | 0, 1 -> Pauli.Z
+  | _ -> assert false
+
+let half_pi = Float.pi /. 2.
+
+(* Transform one signed string by g·P·g† using the standard symplectic
+   update rules; sign flips are recorded as +2 on the i-power. *)
+let conjugate g (p, k) =
+  let n = Pauli_string.n_qubits p in
+  let flip = ref 0 in
+  let update1 q f =
+    let x, z = xz_of_op (Pauli_string.get p q) in
+    let (x', z'), flips = f (x, z) in
+    if flips then flip := !flip + 2;
+    Pauli_string.with_ops p [ q, op_of_xz (x', z') ]
+  in
+  let p' =
+    match g with
+    | Gate.H q -> update1 q (fun (x, z) -> (z, x), x land z = 1)
+    | Gate.S q -> update1 q (fun (x, z) -> (x, x lxor z), x land z = 1)
+    | Gate.Sdg q -> update1 q (fun (x, z) -> (x, x lxor z), x = 1 && z = 0)
+    | Gate.X q -> update1 q (fun (x, z) -> (x, z), z = 1)
+    | Gate.Y q -> update1 q (fun (x, z) -> (x, z), x lxor z = 1)
+    | Gate.Z q -> update1 q (fun (x, z) -> (x, z), x = 1)
+    | Gate.Rx (t, q) when abs_float (t -. half_pi) < 1e-9 ->
+      update1 q (fun (x, z) -> (x lxor z, z), z = 1 && x = 0)
+    | Gate.Rx (t, q) when abs_float (t +. half_pi) < 1e-9 ->
+      update1 q (fun (x, z) -> (x lxor z, z), x land z = 1)
+    | Gate.Cnot (c, t) ->
+      let xc, zc = xz_of_op (Pauli_string.get p c) in
+      let xt, zt = xz_of_op (Pauli_string.get p t) in
+      if xc land zt land (xt lxor zc lxor 1) = 1 then flip := !flip + 2;
+      Pauli_string.with_ops p
+        [ c, op_of_xz (xc, zc lxor zt); t, op_of_xz (xt lxor xc, zt) ]
+    | Gate.Swap (a, b) ->
+      Pauli_string.make n (fun i ->
+          if i = a then Pauli_string.get p b
+          else if i = b then Pauli_string.get p a
+          else Pauli_string.get p i)
+    | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ | Gate.Rxx _ ->
+      invalid_arg (Printf.sprintf "Symplectic.conjugate: non-Clifford %s" (Gate.to_string g))
+  in
+  p', (k + !flip) land 3
+
+let is_diagonal p =
+  List.for_all
+    (fun q -> Pauli_string.get p q = Pauli.Z)
+    (Pauli_string.support p)
+
+let diagonalize strings =
+  (match strings with
+  | [] -> invalid_arg "Symplectic.diagonalize: empty set"
+  | _ -> ());
+  let rec pairwise = function
+    | [] -> true
+    | p :: rest -> List.for_all (Pauli_string.commutes p) rest && pairwise rest
+  in
+  if not (pairwise strings) then
+    invalid_arg "Symplectic.diagonalize: strings do not commute";
+  let rows = Array.of_list (List.map (fun p -> p, 0) strings) in
+  let gates = ref [] in
+  let apply g =
+    gates := g :: !gates;
+    Array.iteri (fun i row -> rows.(i) <- conjugate g row) rows
+  in
+  let x_support p =
+    List.filter
+      (fun q -> match Pauli_string.get p q with Pauli.X | Pauli.Y -> true | _ -> false)
+      (Pauli_string.support p)
+  in
+  for r = 0 to Array.length rows - 1 do
+    let row () = fst rows.(r) in
+    match x_support (row ()) with
+    | [] -> ()
+    | pivot :: _ as xs ->
+      (* Clear Ys on the X-support so CNOT folding stays clean. *)
+      List.iter (fun j -> if Pauli_string.get (row ()) j = Pauli.Y then apply (Gate.S j)) xs;
+      (* Fold the X-support onto the pivot. *)
+      List.iter (fun j -> if j <> pivot then apply (Gate.Cnot (pivot, j))) xs;
+      (* Clear leftover Zs with CZ = H·CNOT·H so a single X remains. *)
+      List.iter
+        (fun j ->
+          if j <> pivot && Pauli_string.get (row ()) j = Pauli.Z then begin
+            apply (Gate.H j);
+            apply (Gate.Cnot (pivot, j));
+            apply (Gate.H j)
+          end)
+        (Pauli_string.support (row ()));
+      apply (Gate.H pivot);
+      assert (is_diagonal (row ()))
+  done;
+  List.rev !gates, Array.to_list rows

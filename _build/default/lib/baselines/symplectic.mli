@@ -1,0 +1,28 @@
+(** GF(2) symplectic machinery: Clifford conjugation of signed Pauli
+    strings, and simultaneous diagonalization of mutually-commuting sets —
+    the core of the t|ket⟩-style baseline ([Tk_like]). *)
+
+open Ph_pauli
+open Ph_gatelevel
+
+(** [conjugate g (p, k)] is [g·(i^k·P)·g†] as a signed string
+    ([k ∈ {0, 2}]).  [g] must be Clifford
+    ([H], [S], [S†], [X], [Y], [Z], [CNOT], [SWAP], [Rx(±π/2)]).
+    @raise Invalid_argument otherwise. *)
+val conjugate : Gate.t -> Pauli_string.t * int -> Pauli_string.t * int
+
+(** [diagonalize strings] — for mutually-commuting [strings], a Clifford
+    gate list [c] (in application order) and the conjugated signed strings
+    [d_i = C·P_i·C†], every one of which is Z/I-only.
+
+    The construction fixes one string at a time: [S] gates clear [Y]s,
+    CNOTs fold the X-support onto a pivot, [H·CNOT·H] (= CZ) clears
+    leftover [Z]s, and a final [H] turns the single [X] into a [Z];
+    commutation guarantees previously fixed strings stay diagonal.
+
+    @raise Invalid_argument if the strings do not mutually commute. *)
+val diagonalize :
+  Pauli_string.t list -> Gate.t list * (Pauli_string.t * int) list
+
+(** All-Z/I check. *)
+val is_diagonal : Pauli_string.t -> bool

@@ -1,0 +1,40 @@
+(** The t|ket⟩-style baseline ("TK" in the evaluation): greedy grouping of
+    the kernel's Pauli strings into mutually-commuting sets, simultaneous
+    diagonalization of each set by a Clifford [C] (Section 8, "adopted by
+    t|ket⟩"), Z-chain synthesis of the diagonalized strings, and [C†] to
+    undo the frame.
+
+    As in the paper's experiments, block constraints are relaxed: the
+    program is flattened to its term sequence before grouping.  The
+    characteristic cost — conjugating Cliffords around every set — is what
+    Paulihedral's block-wise synthesis avoids. *)
+
+open Ph_pauli_ir
+open Ph_synthesis
+
+(** [compile p] returns the lowered circuit and its rotation trace
+    (original strings, emission order).
+
+    [strategy] selects the synthesis inside each commuting set:
+    [`Pairwise] (default, faithful to the tket the paper benchmarked)
+    conjugates gadgets two at a time, paying a Clifford frame per pair;
+    [`Sets] applies whole-set simultaneous diagonalization by symplectic
+    Gaussian elimination (van den Berg–Temme) — a strictly stronger
+    baseline post-dating the paper's comparison, reported separately in
+    EXPERIMENTS.md.
+
+    [max_set_size] (default 64) closes a commuting set once full;
+    [window] (default 32) bounds how many open sets first-fit scans —
+    both keep grouping near-linear on the largest Hamiltonians. *)
+val compile :
+  ?strategy:[ `Pairwise | `Sets ] ->
+  ?max_set_size:int ->
+  ?window:int ->
+  Program.t ->
+  Emit.result
+
+(** The greedy commuting-set partition (exposed for tests/benches):
+    windowed first-fit over the flattened term sequence. *)
+val partition :
+  ?max_set_size:int -> ?window:int -> Program.t ->
+  (Ph_pauli.Pauli_string.t * float) list list

@@ -1,0 +1,1 @@
+lib/benchmarks/graphs.ml: Array Fun Hashtbl List Random Stdlib

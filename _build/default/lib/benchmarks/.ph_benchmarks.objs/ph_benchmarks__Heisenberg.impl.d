@@ -1,0 +1,1 @@
+lib/benchmarks/heisenberg.ml: Block Lattice List Pauli Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/benchmarks/heisenberg.mli: Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/benchmarks/ising.ml: Lattice List Pauli Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Trotter

@@ -1,0 +1,1 @@
+lib/benchmarks/ising.mli: Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/benchmarks/jordan_wigner.ml: List Pauli Pauli_string Pauli_term Ph_pauli Stdlib

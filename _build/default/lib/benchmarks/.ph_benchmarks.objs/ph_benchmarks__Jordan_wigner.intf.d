@@ -1,0 +1,1 @@
+lib/benchmarks/jordan_wigner.mli: Pauli_term Ph_pauli

@@ -1,0 +1,1 @@
+lib/benchmarks/molecule.ml: Hashtbl Jordan_wigner List Pauli Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Random Stdlib Trotter

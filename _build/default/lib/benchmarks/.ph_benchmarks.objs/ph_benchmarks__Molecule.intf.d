@@ -1,0 +1,1 @@
+lib/benchmarks/molecule.mli: Ph_pauli_ir Program

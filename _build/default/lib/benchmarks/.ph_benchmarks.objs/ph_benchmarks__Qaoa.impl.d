@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Array Graphs Hashtbl List Option Pauli Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Random Trotter

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.mli: Graphs Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/benchmarks/random_h.ml: Array Fun List Pauli Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Random Trotter

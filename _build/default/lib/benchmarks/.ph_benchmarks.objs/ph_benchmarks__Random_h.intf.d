@@ -1,0 +1,1 @@
+lib/benchmarks/random_h.mli: Ph_pauli_ir Program

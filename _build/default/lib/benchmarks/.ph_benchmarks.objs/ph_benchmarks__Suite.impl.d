@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Graphs Hashtbl Heisenberg Ising List Molecule Ph_pauli_ir Printf Program Qaoa Random_h Sys Uccsd

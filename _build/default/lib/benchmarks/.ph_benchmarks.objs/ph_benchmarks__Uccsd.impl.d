@@ -1,0 +1,1 @@
+lib/benchmarks/uccsd.ml: Array Block Fun Jordan_wigner List Ph_pauli_ir Printf Program Random

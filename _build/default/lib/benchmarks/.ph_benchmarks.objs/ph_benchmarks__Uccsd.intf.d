@@ -1,0 +1,1 @@
+lib/benchmarks/uccsd.mli: Ph_pauli_ir Program

@@ -1,0 +1,113 @@
+type t = { n : int; edges : (int * int * float) list }
+
+let n_edges g = List.length g.edges
+
+(* Random d-regular graph: a deterministic circulant start, randomized
+   by degree-preserving double-edge swaps (works at any density, unlike
+   configuration-model rejection). *)
+let regular ~seed n d =
+  if d >= n || n * d mod 2 <> 0 || d <= 0 then
+    invalid_arg "Graphs.regular: need 0 < d < n with n*d even";
+  let rand = Random.State.make [| seed; n; d |] in
+  let adj = Hashtbl.create (n * d) in
+  let key a b = min a b, max a b in
+  let has a b = Hashtbl.mem adj (key a b) in
+  let add a b = Hashtbl.replace adj (key a b) () in
+  let remove a b = Hashtbl.remove adj (key a b) in
+  (* Circulant seed graph: i ~ i±k for k = 1..d/2, plus the antipodal
+     chord when d is odd (n must then be even, guaranteed by n·d even). *)
+  for i = 0 to n - 1 do
+    for k = 1 to d / 2 do
+      add i ((i + k) mod n)
+    done;
+    if d mod 2 = 1 && i < n / 2 then add i (i + (n / 2))
+  done;
+  let edges = Array.make (n * d / 2) (0, 0) in
+  let fill () =
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun (a, b) () ->
+        edges.(!i) <- (a, b);
+        incr i)
+      adj
+  in
+  fill ();
+  let m = Array.length edges in
+  for _ = 1 to 20 * m do
+    let i = Random.State.int rand m and j = Random.State.int rand m in
+    let a, b = edges.(i) and c, e = edges.(j) in
+    (* Swap to (a,c)/(b,e) or (a,e)/(b,c) when that keeps the graph
+       simple. *)
+    let c, e = if Random.State.bool rand then c, e else e, c in
+    if
+      i <> j && a <> c && a <> e && b <> c && b <> e
+      && (not (has a c)) && not (has b e)
+    then begin
+      remove a b;
+      remove c e;
+      add a c;
+      add b e;
+      edges.(i) <- key a c;
+      edges.(j) <- key b e
+    end
+  done;
+  let es = Hashtbl.fold (fun (a, b) () acc -> (a, b, 1.0) :: acc) adj [] in
+  { n; edges = List.sort Stdlib.compare es }
+
+let connected_p { n; edges } =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b, _) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs adj.(v)
+    end
+  in
+  dfs 0;
+  Array.for_all Fun.id seen
+
+let erdos_renyi ?(connected = true) ~seed n p =
+  if n <= 1 || p <= 0. || p > 1. then invalid_arg "Graphs.erdos_renyi";
+  let rand = Random.State.make [| seed; n; int_of_float (p *. 1000.) |] in
+  let attempt () =
+    let edges = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if Random.State.float rand 1.0 < p then edges := (a, b, 1.0) :: !edges
+      done
+    done;
+    { n; edges = List.rev !edges }
+  in
+  let rec go attempts =
+    let g = attempt () in
+    if (not connected) || connected_p g || attempts > 1000 then g else go (attempts + 1)
+  in
+  go 0
+
+let weighted ~seed g =
+  let rand = Random.State.make [| seed; g.n; 77 |] in
+  {
+    g with
+    edges =
+      List.map (fun (a, b, _) -> a, b, 0.1 +. Random.State.float rand 0.9) g.edges;
+  }
+
+let cut_value g cut =
+  List.fold_left
+    (fun acc (a, b, w) ->
+      if (cut lsr a) land 1 <> (cut lsr b) land 1 then acc +. w else acc)
+    0. g.edges
+
+let max_cut g =
+  if g.n > 24 then invalid_arg "Graphs.max_cut: too large for brute force";
+  let best = ref 0. in
+  for cut = 0 to (1 lsl g.n) - 1 do
+    let v = cut_value g cut in
+    if v > !best then best := v
+  done;
+  !best

@@ -1,0 +1,26 @@
+(** Seeded graph generators for the QAOA benchmarks. *)
+
+type t = { n : int; edges : (int * int * float) list }
+(** Undirected weighted graphs on nodes [0..n-1]. *)
+
+(** [regular ~seed n d] — a random simple [d]-regular graph
+    (configuration model with rejection).  [n·d] must be even and
+    [d < n].
+    @raise Invalid_argument on infeasible parameters. *)
+val regular : seed:int -> int -> int -> t
+
+(** [erdos_renyi ~seed n p] — each edge present independently with
+    probability [p]; resampled until connected when [connected] (default
+    true) and the expected degree allows it. *)
+val erdos_renyi : ?connected:bool -> seed:int -> int -> float -> t
+
+(** [weighted ~seed g] — reweight edges uniformly from [0.1, 1.0]. *)
+val weighted : seed:int -> t -> t
+
+val n_edges : t -> int
+
+(** Max-cut value of an assignment (bit [i] of [cut] = side of node [i]). *)
+val cut_value : t -> int -> float
+
+(** Brute-force optimum over all 2^n cuts (small [n] only). *)
+val max_cut : t -> float

@@ -1,0 +1,15 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let program ?(j = 1.0) ~dims ~dt () =
+  let n = Lattice.n_sites dims in
+  let blocks =
+    List.map
+      (fun (a, b) ->
+        let t op = Pauli_term.make (Pauli_string.of_support n [ a, op; b, op ]) j in
+        Block.make [ t Pauli.X; t Pauli.Y; t Pauli.Z ] (Block.fixed dt))
+      (Lattice.edges dims)
+  in
+  Program.make n blocks
+
+let paper_benchmark d = program ~dims:(Lattice.paper_dims d) ~dt:0.1 ()

@@ -1,0 +1,10 @@
+(** Heisenberg-model kernels: [XX + YY + ZZ] per lattice edge; the three
+    strings of an edge share one block (they mutually commute and share
+    the coupling constant), giving 87/147/177 strings on 30 qubits for
+    the paper's three lattices. *)
+
+open Ph_pauli_ir
+
+val program : ?j:float -> dims:int list -> dt:float -> unit -> Program.t
+
+val paper_benchmark : int -> Program.t

@@ -1,0 +1,14 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let program ?(j = 1.0) ~dims ~dt () =
+  let n = Lattice.n_sites dims in
+  let terms =
+    List.map
+      (fun (a, b) ->
+        Pauli_term.make (Pauli_string.of_support n [ a, Pauli.Z; b, Pauli.Z ]) j)
+      (Lattice.edges dims)
+  in
+  Trotter.trotterize ~n_qubits:n ~terms ~time:dt ~steps:1
+
+let paper_benchmark d = program ~dims:(Lattice.paper_dims d) ~dt:0.1 ()

@@ -1,0 +1,11 @@
+(** Ising-model simulation kernels: one [Z_u Z_v] term per lattice edge,
+    each in its own block (single-step Trotter), as in the Ising-1D/2D/3D
+    benchmarks (29/49/59 strings on 30 qubits). *)
+
+open Ph_pauli_ir
+
+(** [program ~dims ~dt] with uniform coupling [j] (default 1.0). *)
+val program : ?j:float -> dims:int list -> dt:float -> unit -> Program.t
+
+(** The paper's benchmark for dimension [1..3]. *)
+val paper_benchmark : int -> Program.t

@@ -1,0 +1,37 @@
+open Ph_pauli
+
+let z_chain lo hi = List.init (max 0 (hi - lo - 1)) (fun k -> lo + 1 + k, Pauli.Z)
+
+let single_excitation ~n i a c =
+  if not (0 <= i && i < a && a < n) then
+    invalid_arg "Jordan_wigner.single_excitation: need 0 <= i < a < n";
+  let chain = z_chain i a in
+  let make op = Pauli_string.of_support n ((i, op) :: (a, op) :: chain) in
+  [
+    Pauli_term.make (make Pauli.X) (c /. 2.);
+    Pauli_term.make (make Pauli.Y) (c /. 2.);
+  ]
+
+let double_excitation ~n (i, j, a, b) c =
+  let idx = List.sort_uniq Stdlib.compare [ i; j; a; b ] in
+  (match idx with
+  | [ p; _; _; s ] when p >= 0 && s < n -> ()
+  | _ -> invalid_arg "Jordan_wigner.double_excitation: need 4 distinct in-range indices");
+  let p1, p2, p3, p4 =
+    match idx with [ a; b; c; d ] -> a, b, c, d | _ -> assert false
+  in
+  let chains = z_chain p1 p2 @ z_chain p3 p4 in
+  let combo ops =
+    let n_y = List.length (List.filter (fun o -> o = Pauli.Y) ops) in
+    let sign = if n_y = 1 then 1. else -1. in
+    let support =
+      List.map2 (fun p op -> p, op) [ p1; p2; p3; p4 ] ops @ chains
+    in
+    Pauli_term.make (Pauli_string.of_support n support) (sign *. c /. 8.)
+  in
+  let x = Pauli.X and y = Pauli.Y in
+  List.map combo
+    [
+      [ y; x; x; x ]; [ x; y; x; x ]; [ x; x; y; x ]; [ x; x; x; y ];
+      [ x; y; y; y ]; [ y; x; y; y ]; [ y; y; x; y ]; [ y; y; y; x ];
+    ]

@@ -1,0 +1,19 @@
+(** Jordan–Wigner images of fermionic excitation operators — the string
+    patterns that electronic-structure kernels (UCCSD, molecular
+    Hamiltonians) are made of: X/Y pairs and quadruples joined by Z
+    chains. *)
+
+open Ph_pauli
+
+(** [single_excitation ~n i a c] — the anti-Hermitian single excitation
+    [c·(a†_a a_i − h.c.)] as two strings
+    [c/2·(X_i Z⋯Z X_a + Y_i Z⋯Z Y_a)], [i < a].
+    @raise Invalid_argument unless [0 ≤ i < a < n]. *)
+val single_excitation : n:int -> int -> int -> float -> Pauli_term.t list
+
+(** [double_excitation ~n (i, j, a, b) c] — the double excitation on four
+    distinct spin-orbitals as eight strings of weight [±c/8]: the four
+    operators carry one or three [Y]s (sign [+] resp. [−]), with Z chains
+    filling [p₁..p₂] and [p₃..p₄] of the sorted indices.
+    @raise Invalid_argument on repeated or out-of-range indices. *)
+val double_excitation : n:int -> int * int * int * int -> float -> Pauli_term.t list

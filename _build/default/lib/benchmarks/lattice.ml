@@ -1,0 +1,26 @@
+let n_sites dims = List.fold_left ( * ) 1 dims
+
+let edges dims =
+  let dims = Array.of_list dims in
+  let k = Array.length dims in
+  if k = 0 || Array.exists (fun d -> d <= 0) dims then invalid_arg "Lattice.edges";
+  let strides = Array.make k 1 in
+  for i = k - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let total = Array.fold_left ( * ) 1 dims in
+  let coord idx axis = idx / strides.(axis) mod dims.(axis) in
+  let acc = ref [] in
+  for idx = total - 1 downto 0 do
+    for axis = 0 to k - 1 do
+      if coord idx axis + 1 < dims.(axis) then
+        acc := (idx, idx + strides.(axis)) :: !acc
+    done
+  done;
+  !acc
+
+let paper_dims = function
+  | 1 -> [ 30 ]
+  | 2 -> [ 5; 6 ]
+  | 3 -> [ 2; 3; 5 ]
+  | d -> invalid_arg (Printf.sprintf "Lattice.paper_dims: %d" d)

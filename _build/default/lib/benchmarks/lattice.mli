@@ -1,0 +1,13 @@
+(** Hyper-rectangular lattices shared by the Ising and Heisenberg
+    benchmarks. *)
+
+(** [edges dims] — nearest-neighbour edges of the row-major lattice with
+    the given side lengths (e.g. [[30]] = chain, [[5; 6]] = 5×6 grid,
+    [[2; 3; 5]] = 3-D block).  Site count is the product of [dims]. *)
+val edges : int list -> (int * int) list
+
+val n_sites : int list -> int
+
+(** The paper's three lattices per model: 30 sites as [[30]], [[5; 6]],
+    [[2; 3; 5]] (29 / 49 / 59 edges). *)
+val paper_dims : int -> int list

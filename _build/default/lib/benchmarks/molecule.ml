@@ -1,0 +1,64 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let synthetic ?(seed = 5) ?(dt = 0.1) ~n_qubits ~target_strings () =
+  if n_qubits < 4 then invalid_arg "Molecule.synthetic: need at least 4 qubits";
+  let rand = Random.State.make [| seed; n_qubits; target_strings |] in
+  let coeff () =
+    let c = 0.01 +. Random.State.float rand 0.5 in
+    if Random.State.bool rand then c else -.c
+  in
+  let terms = ref [] in
+  let count = ref 0 in
+  let add ts =
+    List.iter (fun t -> terms := t :: !terms) ts;
+    count := !count + List.length ts
+  in
+  let seen = Hashtbl.create (2 * target_strings) in
+  let fresh key = not (Hashtbl.mem seen key) && (Hashtbl.replace seen key (); true) in
+  (* Diagonal one-body terms: always present. *)
+  for q = 0 to n_qubits - 1 do
+    if !count < target_strings then
+      add [ Pauli_term.make (Pauli_string.of_support n_qubits [ q, Pauli.Z ]) (coeff ()) ]
+  done;
+  let distinct2 () =
+    let a = Random.State.int rand n_qubits in
+    let b = Random.State.int rand n_qubits in
+    if a = b then None else Some (min a b, max a b)
+  in
+  let distinct4 () =
+    let picks = List.init 4 (fun _ -> Random.State.int rand n_qubits) in
+    let sorted = List.sort_uniq Stdlib.compare picks in
+    if List.length sorted = 4 then
+      Some (List.nth sorted 0, List.nth sorted 1, List.nth sorted 2, List.nth sorted 3)
+    else None
+  in
+  let guard = ref 0 in
+  while !count < target_strings && !guard < 100 * target_strings do
+    incr guard;
+    match Random.State.int rand 4 with
+    | 0 ->
+      (* Coulomb/exchange diagonal: ZZ. *)
+      (match distinct2 () with
+      | Some (a, b) when fresh (`ZZ, a, b, 0, 0) ->
+        add
+          [
+            Pauli_term.make
+              (Pauli_string.of_support n_qubits [ a, Pauli.Z; b, Pauli.Z ])
+              (coeff ());
+          ]
+      | _ -> ())
+    | 1 ->
+      (* Hopping pair. *)
+      (match distinct2 () with
+      | Some (i, a) when fresh (`Hop, i, a, 0, 0) ->
+        add (Jordan_wigner.single_excitation ~n:n_qubits i a (coeff ()))
+      | _ -> ())
+    | _ ->
+      (* Double excitation. *)
+      (match distinct4 () with
+      | Some (i, j, a, b) when fresh (`Dbl, i, j, a, b) ->
+        add (Jordan_wigner.double_excitation ~n:n_qubits (i, j, a, b) (coeff ()))
+      | _ -> ())
+  done;
+  Trotter.trotterize ~n_qubits ~terms:(List.rev !terms) ~time:dt ~steps:1

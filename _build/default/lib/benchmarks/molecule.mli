@@ -1,0 +1,16 @@
+(** Synthetic electronic-structure Hamiltonians (substitute for the
+    paper's PySCF-generated N2/H2S/MgO/CO2/NaCl — see DESIGN.md).
+
+    The generator samples Jordan–Wigner images of one- and two-body
+    fermionic terms: diagonal number/interaction terms (Z, ZZ), hopping
+    terms (X Z⋯Z X + Y Z⋯Z Y pairs) and double excitations (8-string
+    groups) — reproducing the wide, X/Y-paired support distribution
+    ("first category" of Section 6.3) that drives the compiler's
+    behaviour on molecules.  Every string is its own single-string block
+    with a shared Trotter step, as in Figure 6(a). *)
+
+open Ph_pauli_ir
+
+(** [synthetic ~n_qubits ~target_strings ()] — deterministic in [seed];
+    produces at least [target_strings] strings (within one term group). *)
+val synthetic : ?seed:int -> ?dt:float -> n_qubits:int -> target_strings:int -> unit -> Program.t

@@ -1,0 +1,84 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let maxcut (g : Graphs.t) ~gamma =
+  let terms =
+    List.map
+      (fun (a, b, w) ->
+        Pauli_term.make (Pauli_string.of_support g.Graphs.n [ a, Pauli.Z; b, Pauli.Z ]) w)
+      g.Graphs.edges
+  in
+  Trotter.qaoa_layer ~n_qubits:g.Graphs.n ~terms ~gamma
+
+(* QUBO -> Ising: x = (1-Z)/2.  We accumulate quadratic coefficients per
+   qubit pair and linear ones per qubit, then emit one Z/ZZ term each. *)
+let tsp ?(seed = 11) n ~gamma =
+  if n < 2 then invalid_arg "Qaoa.tsp: need at least two cities";
+  let nq = n * n in
+  let q c p = (c * n) + p in
+  let rand = Random.State.make [| seed; n |] in
+  let dist = Array.init n (fun _ -> Array.init n (fun _ -> 1. +. Random.State.float rand 9.)) in
+  let quad = Hashtbl.create 64 in
+  let lin = Array.make nq 0. in
+  let add_quad a b c =
+    if a = b then invalid_arg "Qaoa.tsp: diagonal quadratic"
+    else begin
+      let key = min a b, max a b in
+      Hashtbl.replace quad key (c +. Option.value ~default:0. (Hashtbl.find_opt quad key))
+    end
+  in
+  let penalty = 10. in
+  (* Row constraints: each city occupies exactly one position; column
+     constraints: each position hosts exactly one city.
+     (1 - Σx)² contributes -x_i (linear) and +2·x_i x_j (quadratic). *)
+  let one_hot vars =
+    List.iter (fun v -> lin.(v) <- lin.(v) -. penalty) vars;
+    let rec pairs = function
+      | [] -> ()
+      | v :: rest ->
+        List.iter (fun u -> add_quad v u (2. *. penalty)) rest;
+        pairs rest
+    in
+    pairs vars
+  in
+  for c = 0 to n - 1 do
+    one_hot (List.init n (fun p -> q c p))
+  done;
+  for p = 0 to n - 1 do
+    one_hot (List.init n (fun c -> q c p))
+  done;
+  (* Distance objective over consecutive (cyclic) positions. *)
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        for p = 0 to n - 1 do
+          add_quad (q i p) (q j ((p + 1) mod n)) dist.(i).(j)
+        done
+    done
+  done;
+  (* QUBO -> Ising: x_i x_j = (1 - Z_i - Z_j + Z_i Z_j)/4,
+     x_i = (1 - Z_i)/2.  Only the Z_i Z_j and Z_i coefficients matter for
+     the kernel. *)
+  let z_coeff = Array.make nq 0. in
+  Array.iteri (fun i c -> z_coeff.(i) <- -.c /. 2.) lin;
+  let zz = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, b) c ->
+      Hashtbl.replace zz (a, b) (c /. 4.);
+      z_coeff.(a) <- z_coeff.(a) -. (c /. 4.);
+      z_coeff.(b) <- z_coeff.(b) -. (c /. 4.))
+    quad;
+  let terms =
+    List.init nq (fun i ->
+        Pauli_term.make (Pauli_string.of_support nq [ i, Pauli.Z ]) z_coeff.(i))
+    @ Hashtbl.fold
+        (fun (a, b) c acc ->
+          Pauli_term.make (Pauli_string.of_support nq [ a, Pauli.Z; b, Pauli.Z ]) c :: acc)
+        zz []
+  in
+  Trotter.qaoa_layer ~n_qubits:nq ~terms ~gamma
+
+let tsp_term_counts n =
+  let singles = n * n in
+  let zz = (2 * n * (n * (n - 1) / 2)) + (n * n * (n - 1)) in
+  singles, zz

@@ -1,0 +1,19 @@
+(** QAOA workloads: MaxCut phase kernels (the REG and Rand benchmarks)
+    and travelling-salesman QUBO kernels (the TSP benchmarks). *)
+
+open Ph_pauli_ir
+
+(** [maxcut g ~gamma] — all edge terms [(Z_u Z_v, w)] in one block
+    sharing γ (Figure 6c). *)
+val maxcut : Graphs.t -> gamma:float -> Program.t
+
+(** [tsp n ~gamma] — the [n]-city QUBO on [n²] qubits (qubit [c·n + p] ⇔
+    city [c] at position [p]): one-hot row/column penalties plus
+    cyclic-tour distance terms (seeded random distances), aggregated into
+    single-Z and ZZ terms in one block. *)
+val tsp : ?seed:int -> int -> gamma:float -> Program.t
+
+(** Expected counts: [n] cities give [n²] single-Z terms and
+    [2·n·C(n,2) + n²(n−1)] ZZ terms (96 for TSP-4, 200 for TSP-5,
+    matching Table 1). *)
+val tsp_term_counts : int -> int * int

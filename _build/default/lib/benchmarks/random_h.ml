@@ -1,0 +1,33 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let program ?(seed = 3) ?(density = 5.0) ?(dt = 0.1) ~n_qubits () =
+  if n_qubits <= 0 then invalid_arg "Random_h.program";
+  let rand = Random.State.make [| seed; n_qubits |] in
+  let n_strings =
+    max 1 (int_of_float (density *. float_of_int (n_qubits * n_qubits)))
+  in
+  let random_op () =
+    match Random.State.int rand 3 with
+    | 0 -> Pauli.X
+    | 1 -> Pauli.Y
+    | _ -> Pauli.Z
+  in
+  let random_string () =
+    let m = 1 + Random.State.int rand n_qubits in
+    (* Reservoir-free m-subset: shuffle indices, take the first m. *)
+    let idx = Array.init n_qubits Fun.id in
+    for i = n_qubits - 1 downto 1 do
+      let j = Random.State.int rand (i + 1) in
+      let tmp = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- tmp
+    done;
+    Pauli_string.of_support n_qubits
+      (List.init m (fun k -> idx.(k), random_op ()))
+  in
+  let terms =
+    List.init n_strings (fun _ ->
+        Pauli_term.make (random_string ()) (0.1 +. Random.State.float rand 0.9))
+  in
+  Trotter.trotterize ~n_qubits ~terms ~time:dt ~steps:1

@@ -1,0 +1,8 @@
+(** Random Hamiltonians, exactly the paper's recipe (Section 6.1): for
+    [n] qubits, [density·n²] Pauli strings; each string picks
+    [m ~ U(1..n)] random qubits and assigns them random non-identity
+    operators; the rest are identity.  The paper uses [density = 5]. *)
+
+open Ph_pauli_ir
+
+val program : ?seed:int -> ?density:float -> ?dt:float -> n_qubits:int -> unit -> Program.t

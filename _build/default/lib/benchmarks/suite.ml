@@ -1,0 +1,126 @@
+open Ph_pauli_ir
+
+type backend = SC | FT
+
+type t = {
+  name : string;
+  category : string;
+  backend : backend;
+  generate : unit -> Program.t;
+}
+
+let full_requested () =
+  match Sys.getenv_opt "PH_BENCH_FULL" with Some "1" -> true | _ -> false
+
+let uccsd ~full n =
+  let max_doubles =
+    if full then None
+    else
+      match n with
+      | 20 -> Some 400
+      | 24 -> Some 500
+      | 28 -> Some 600
+      | _ -> None
+  in
+  {
+    name = Printf.sprintf "UCCSD-%d" n;
+    category = "UCCSD";
+    backend = SC;
+    generate = (fun () -> Uccsd.ansatz ?max_doubles ~n_qubits:n ());
+  }
+
+let reg_qaoa n d =
+  {
+    name = Printf.sprintf "REG-%d-%d" n d;
+    category = "QAOA";
+    backend = SC;
+    generate =
+      (fun () -> Qaoa.maxcut (Graphs.regular ~seed:(100 + d) n d) ~gamma:0.6);
+  }
+
+let rand_qaoa n p =
+  {
+    name = Printf.sprintf "Rand-%d-%g" n p;
+    category = "QAOA";
+    backend = SC;
+    generate =
+      (fun () ->
+        Qaoa.maxcut
+          (Graphs.erdos_renyi ~seed:(200 + int_of_float (p *. 10.)) n p)
+          ~gamma:0.6);
+  }
+
+let tsp n =
+  {
+    name = Printf.sprintf "TSP-%d" n;
+    category = "QAOA";
+    backend = SC;
+    generate = (fun () -> Qaoa.tsp n ~gamma:0.6);
+  }
+
+let ising d =
+  {
+    name = Printf.sprintf "Ising-%dD" d;
+    category = "Ising";
+    backend = FT;
+    generate = (fun () -> Ising.paper_benchmark d);
+  }
+
+let heisen d =
+  {
+    name = Printf.sprintf "Heisen-%dD" d;
+    category = "Heisenberg";
+    backend = FT;
+    generate = (fun () -> Heisenberg.paper_benchmark d);
+  }
+
+(* Paper string counts: N2 2951, H2S 4582, MgO 24239, CO2 16154,
+   NaCl 67667; the three largest are scaled down by default. *)
+let molecule ~full name n_qubits paper_strings =
+  let target =
+    if full then paper_strings else min paper_strings 6000
+  in
+  {
+    name;
+    category = "Molecule";
+    backend = FT;
+    generate =
+      (fun () ->
+        Molecule.synthetic ~seed:(Hashtbl.hash name) ~n_qubits
+          ~target_strings:target ());
+  }
+
+let random_h ~full n =
+  {
+    name = Printf.sprintf "Rand-%d" n;
+    category = "Random";
+    backend = FT;
+    generate =
+      (fun () ->
+        Random_h.program ~seed:(300 + n) ~density:(if full then 5.0 else 1.0)
+          ~n_qubits:n ());
+  }
+
+let sc ?(full = false) () =
+  let full = full || full_requested () in
+  List.map (uccsd ~full) [ 8; 12; 16; 20; 24; 28 ]
+  @ List.map (reg_qaoa 20) [ 4; 8; 12 ]
+  @ List.map (rand_qaoa 20) [ 0.1; 0.3; 0.5 ]
+  @ [ tsp 4; tsp 5 ]
+
+let ft ?(full = false) () =
+  let full = full || full_requested () in
+  List.map ising [ 1; 2; 3 ]
+  @ List.map heisen [ 1; 2; 3 ]
+  @ [
+      molecule ~full "N2" 20 2951;
+      molecule ~full "H2S" 22 4582;
+      molecule ~full "MgO" 28 24239;
+      molecule ~full "CO2" 30 16154;
+      molecule ~full "NaCl" 36 67667;
+    ]
+  @ List.map (random_h ~full) (if full then [ 30; 40; 50; 60; 70; 80 ] else [ 30; 40; 50 ])
+
+let all ?full () = sc ?full () @ ft ?full ()
+
+let find ?full name = List.find (fun b -> b.name = name) (all ?full ())

@@ -1,0 +1,87 @@
+open Ph_pauli_ir
+
+(* Spin-preserving excitations at half filling with block spin ordering. *)
+let spaces n_qubits =
+  let n_spatial = n_qubits / 2 in
+  let n_occ = n_spatial / 2 in
+  let alpha_occ = List.init n_occ Fun.id in
+  let alpha_virt = List.init (n_spatial - n_occ) (fun k -> n_occ + k) in
+  let beta_occ = List.map (fun p -> p + n_spatial) alpha_occ in
+  let beta_virt = List.map (fun p -> p + n_spatial) alpha_virt in
+  (alpha_occ, alpha_virt), (beta_occ, beta_virt)
+
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> x, y) rest @ go rest
+  in
+  go xs
+
+let doubles_list n_qubits =
+  let (ao, av), (bo, bv) = spaces n_qubits in
+  let same_spin (occ, virt) =
+    List.concat_map
+      (fun (i, j) -> List.map (fun (a, b) -> i, j, a, b) (pairs virt))
+      (pairs occ)
+  in
+  let mixed =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun j ->
+            List.concat_map
+              (fun a -> List.map (fun b -> i, j, a, b) bv)
+              av)
+          bo)
+      ao
+  in
+  same_spin (ao, av) @ same_spin (bo, bv) @ mixed
+
+let singles_list n_qubits =
+  let (ao, av), (bo, bv) = spaces n_qubits in
+  List.concat_map (fun i -> List.map (fun a -> i, a) av) ao
+  @ List.concat_map (fun i -> List.map (fun a -> i, a) bv) bo
+
+let excitation_counts ~n_qubits =
+  List.length (singles_list n_qubits), List.length (doubles_list n_qubits)
+
+let ansatz ?(seed = 23) ?max_doubles ~n_qubits () =
+  if n_qubits <= 0 || n_qubits mod 4 <> 0 then
+    invalid_arg "Uccsd.ansatz: n_qubits must be a positive multiple of 4";
+  let rand = Random.State.make [| seed; n_qubits |] in
+  let theta () = 0.05 +. Random.State.float rand 0.4 in
+  let doubles =
+    let all = doubles_list n_qubits in
+    match max_doubles with
+    | None -> all
+    | Some k when k >= List.length all -> all
+    | Some k ->
+      (* Seeded subsample, keeping order. *)
+      let arr = Array.of_list all in
+      let m = Array.length arr in
+      let chosen = Array.make m false in
+      let remaining = ref k in
+      while !remaining > 0 do
+        let i = Random.State.int rand m in
+        if not chosen.(i) then begin
+          chosen.(i) <- true;
+          decr remaining
+        end
+      done;
+      List.filteri (fun i _ -> chosen.(i)) all
+  in
+  let blocks =
+    List.mapi
+      (fun k (i, a) ->
+        Block.make
+          (Jordan_wigner.single_excitation ~n:n_qubits i a (theta ()))
+          (Block.symbolic (Printf.sprintf "t%d" k) 1.0))
+      (singles_list n_qubits)
+    @ List.mapi
+        (fun k exc ->
+          Block.make
+            (Jordan_wigner.double_excitation ~n:n_qubits exc (theta ()))
+            (Block.symbolic (Printf.sprintf "d%d" k) 1.0))
+        doubles
+  in
+  Program.make n_qubits blocks

@@ -1,0 +1,18 @@
+(** UCCSD ansatz generator (the UCCSD-n benchmarks).
+
+    [n] spin-orbitals at half filling, block spin ordering (α =
+    [0..n/2−1], β = [n/2..n−1]): spin-preserving single excitations (two
+    JW strings per block) and αα/ββ/αβ double excitations (eight strings
+    per block); every excitation's strings share one variational
+    parameter — the Figure 6(b) block structure. *)
+
+open Ph_pauli_ir
+
+(** [ansatz ~n_qubits ()] — [n_qubits] must be a positive multiple of 4.
+    [max_doubles] subsamples the double excitations (seeded) for scaled
+    benchmark runs.
+    @raise Invalid_argument on bad sizes. *)
+val ansatz : ?seed:int -> ?max_doubles:int -> n_qubits:int -> unit -> Program.t
+
+(** Number of (singles, doubles) excitations at a given size. *)
+val excitation_counts : n_qubits:int -> int * int

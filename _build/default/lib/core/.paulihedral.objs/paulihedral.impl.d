@@ -1,0 +1,1 @@
+lib/core/paulihedral.ml: Compiler Config Pipelines Report

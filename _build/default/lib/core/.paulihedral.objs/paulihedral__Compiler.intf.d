@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Circuit Config Coupling Layout Noise_model Pauli_string Ph_gatelevel Ph_hardware Ph_pauli Ph_pauli_ir Program Report

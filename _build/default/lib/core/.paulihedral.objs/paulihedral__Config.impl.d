@@ -1,0 +1,1 @@
+lib/core/config.ml: Coupling Noise_model Ph_hardware

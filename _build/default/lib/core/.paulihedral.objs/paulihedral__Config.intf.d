@@ -1,0 +1,1 @@
+lib/core/config.mli: Coupling Noise_model Ph_hardware

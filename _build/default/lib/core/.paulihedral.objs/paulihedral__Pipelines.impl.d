@@ -1,0 +1,1 @@
+lib/core/pipelines.ml: Circuit Compiler Config Emit Layout Naive Pauli_string Peephole Ph_baselines Ph_gatelevel Ph_hardware Ph_pauli Ph_synthesis Ph_verify Qaoa_compiler Report Router Tk_like

@@ -1,0 +1,1 @@
+lib/core/report.ml: Circuit Format List Ph_gatelevel Unix

@@ -1,0 +1,56 @@
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+open Ph_schedule
+open Ph_synthesis
+
+type output = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+  initial_layout : Layout.t option;
+  final_layout : Layout.t option;
+  metrics : Report.metrics;
+}
+
+let schedule_layers config prog =
+  match config.Config.schedule with
+  | Config.Program_order -> List.map Layer.of_block (Program.blocks prog)
+  | Config.Gco -> Gco.schedule prog
+  | Config.Depth_oriented -> Depth_oriented.schedule prog
+  | Config.Max_overlap -> Max_overlap.schedule prog
+
+let compile config prog =
+  let (circuit, rotations, initial_layout, final_layout), seconds =
+    Report.timed (fun () ->
+        let layers = schedule_layers config prog in
+        match config.Config.backend with
+        | Config.Ft ->
+          let r = Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers in
+          let c = if config.Config.peephole then Peephole.optimize r.circuit else r.circuit in
+          c, r.rotations, None, None
+        | Config.Sc { coupling; noise } ->
+          let r =
+            Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
+              layers
+          in
+          let c = Circuit.decompose_swaps r.circuit in
+          let c = if config.Config.peephole then Peephole.optimize c else c in
+          c, r.rotations, Some r.initial_layout, Some r.final_layout
+        | Config.Ion_trap ->
+          (* native lowering already interleaves its own cleanup passes *)
+          let r = Ion_trap.synthesize ~n_qubits:(Program.n_qubits prog) layers in
+          r.circuit, r.rotations, None, None)
+  in
+  {
+    circuit;
+    rotations;
+    initial_layout;
+    final_layout;
+    metrics = Report.of_circuit ~seconds circuit;
+  }
+
+let compile_ft ?schedule prog = compile (Config.ft ?schedule ()) prog
+
+let compile_sc ?schedule ?noise ~coupling prog =
+  compile (Config.sc ?schedule ?noise coupling) prog

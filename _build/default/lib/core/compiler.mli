@@ -1,0 +1,38 @@
+(** Paulihedral's public compile driver: Pauli IR program in, verified
+    lowered circuit out.
+
+    The flow mirrors Figure 1: a technology-independent block scheduling
+    pass (GCO or DO) followed by a technology-dependent block-wise
+    synthesis pass (FT or SC backend), then the generic gate-level
+    cleanup.  The output carries the rotation trace and layouts so the
+    [Ph_verify] checkers can certify the compilation. *)
+
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+
+type output = {
+  circuit : Circuit.t;
+      (** lowered circuit; on the SC backend SWAPs are already decomposed
+          into CNOTs *)
+  rotations : (Pauli_string.t * float) list;
+      (** logical rotation trace, emission order *)
+  initial_layout : Layout.t option;  (** SC backend only *)
+  final_layout : Layout.t option;
+  metrics : Report.metrics;
+}
+
+(** [compile config program]. *)
+val compile : Config.t -> Program.t -> output
+
+(** [compile_ft program] with default FT configuration. *)
+val compile_ft : ?schedule:Config.schedule -> Program.t -> output
+
+(** [compile_sc ~coupling program] with default SC configuration. *)
+val compile_sc :
+  ?schedule:Config.schedule ->
+  ?noise:Noise_model.t ->
+  coupling:Coupling.t ->
+  Program.t ->
+  output

@@ -1,0 +1,17 @@
+open Ph_hardware
+
+type schedule = Program_order | Gco | Depth_oriented | Max_overlap
+
+type backend =
+  | Ft
+  | Sc of { coupling : Coupling.t; noise : Noise_model.t option }
+  | Ion_trap
+
+type t = { schedule : schedule; backend : backend; peephole : bool }
+
+let ft ?(schedule = Gco) () = { schedule; backend = Ft; peephole = true }
+
+let sc ?(schedule = Depth_oriented) ?noise coupling =
+  { schedule; backend = Sc { coupling; noise }; peephole = true }
+
+let ion_trap ?(schedule = Gco) () = { schedule; backend = Ion_trap; peephole = true }

@@ -1,0 +1,34 @@
+(** Compilation configurations: which scheduler, which backend, and
+    whether the generic gate-level cleanup runs afterwards. *)
+
+open Ph_hardware
+
+type schedule =
+  | Program_order  (** no scheduling pass — blocks as written *)
+  | Gco            (** gate-count-oriented, Section 4.1 *)
+  | Depth_oriented (** Algorithm 1 *)
+  | Max_overlap    (** greedy TSP-style chaining (Gui et al.) *)
+
+type backend =
+  | Ft  (** fault-tolerant: all-to-all, cancellation-maximizing *)
+  | Sc of { coupling : Coupling.t; noise : Noise_model.t option }
+      (** superconducting: coupling-constrained, SWAP-minimizing *)
+  | Ion_trap
+      (** trapped-ion: all-to-all with native Mølmer–Sørensen gates *)
+
+type t = {
+  schedule : schedule;
+  backend : backend;
+  peephole : bool;  (** run the generic cleanup stage (default true) *)
+}
+
+(** FT defaults: DO scheduling (the paper's headline FT configuration
+    pairs naturally with either; see Table 4), peephole on. *)
+val ft : ?schedule:schedule -> unit -> t
+
+(** SC defaults: DO scheduling on the given device, peephole on. *)
+val sc : ?schedule:schedule -> ?noise:Noise_model.t -> Coupling.t -> t
+
+(** Ion-trap defaults: GCO scheduling (all-to-all, gate count is the
+    objective), peephole on. *)
+val ion_trap : ?schedule:schedule -> unit -> t

@@ -1,0 +1,17 @@
+(** Paulihedral: a block-wise compiler framework for quantum simulation
+    kernels (ASPLOS 2022 reproduction).
+
+    - {!Compiler} — the compile driver (Pauli IR program → circuit).
+    - {!Config} — scheduler / backend / cleanup selection.
+    - {!Pipelines} — the evaluation's end-to-end configurations
+      (Paulihedral, t|ket⟩-style, naive, QAOA-specific).
+    - {!Report} — gate-count / depth metrics and table helpers.
+
+    The underlying subsystem libraries ([Ph_pauli], [Ph_pauli_ir],
+    [Ph_schedule], [Ph_synthesis], [Ph_hardware], [Ph_baselines],
+    [Ph_verify]) are regular dependencies and can be used directly. *)
+
+module Config = Config
+module Report = Report
+module Compiler = Compiler
+module Pipelines = Pipelines

@@ -1,0 +1,86 @@
+open Ph_pauli
+open Ph_gatelevel
+open Ph_hardware
+open Ph_synthesis
+open Ph_baselines
+
+type run = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+  initial_layout : Layout.t option;
+  final_layout : Layout.t option;
+  metrics : Report.metrics;
+}
+
+let of_output (o : Compiler.output) =
+  {
+    circuit = o.circuit;
+    rotations = o.rotations;
+    initial_layout = o.initial_layout;
+    final_layout = o.final_layout;
+    metrics = o.metrics;
+  }
+
+let ph_ft ?schedule prog = of_output (Compiler.compile_ft ?schedule prog)
+
+let ph_sc ?schedule ?noise coupling prog =
+  of_output (Compiler.compile_sc ?schedule ?noise ~coupling prog)
+
+let ph_it ?schedule prog =
+  of_output (Compiler.compile (Config.ion_trap ?schedule ()) prog)
+
+let ft_stage synthesize prog =
+  let (circuit, rotations), seconds =
+    Report.timed (fun () ->
+        let r : Emit.result = synthesize prog in
+        Peephole.optimize r.circuit, r.rotations)
+  in
+  {
+    circuit;
+    rotations;
+    initial_layout = None;
+    final_layout = None;
+    metrics = Report.of_circuit ~seconds circuit;
+  }
+
+let sc_stage synthesize coupling prog =
+  let (circuit, rotations, initial_layout, final_layout), seconds =
+    Report.timed (fun () ->
+        let r : Emit.result = synthesize prog in
+        let routed = Router.route ~coupling r.circuit in
+        let c = Peephole.optimize (Circuit.decompose_swaps routed.circuit) in
+        c, r.rotations, routed.initial_layout, routed.final_layout)
+  in
+  {
+    circuit;
+    rotations;
+    initial_layout = Some initial_layout;
+    final_layout = Some final_layout;
+    metrics = Report.of_circuit ~seconds circuit;
+  }
+
+let tk_ft ?strategy prog = ft_stage (Tk_like.compile ?strategy) prog
+let tk_sc ?strategy coupling prog = sc_stage (Tk_like.compile ?strategy) coupling prog
+let naive_ft prog = ft_stage Naive.synthesize prog
+let naive_sc coupling prog = sc_stage Naive.synthesize coupling prog
+
+let qaoa_sc coupling prog =
+  let (circuit, r), seconds =
+    Report.timed (fun () ->
+        let r = Qaoa_compiler.compile ~coupling prog in
+        Peephole.optimize (Circuit.decompose_swaps r.circuit), r)
+  in
+  {
+    circuit;
+    rotations = r.rotations;
+    initial_layout = Some r.initial_layout;
+    final_layout = Some r.final_layout;
+    metrics = Report.of_circuit ~seconds circuit;
+  }
+
+let verified run =
+  match run.initial_layout, run.final_layout with
+  | Some initial, Some final ->
+    Ph_verify.Pauli_frame.verify_sc ~circuit:run.circuit ~trace:run.rotations
+      ~initial ~final
+  | _ -> Ph_verify.Pauli_frame.verify_ft run.circuit ~trace:run.rotations

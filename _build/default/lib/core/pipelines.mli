@@ -1,0 +1,52 @@
+(** The evaluation's end-to-end configurations: every compiler is
+    followed by the same generic stage (peephole cleanup, and routing +
+    SWAP decomposition on the SC backend), mirroring how the paper runs
+    each first-stage tool through Qiskit-L3.  Used by the bench harness
+    and the examples. *)
+
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+
+type run = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+  initial_layout : Layout.t option;
+  final_layout : Layout.t option;
+  metrics : Report.metrics;
+}
+
+(** Paulihedral on the FT backend ([schedule] defaults to GCO). *)
+val ph_ft : ?schedule:Config.schedule -> Program.t -> run
+
+(** Paulihedral on an SC device ([schedule] defaults to DO). *)
+val ph_sc : ?schedule:Config.schedule -> ?noise:Noise_model.t -> Coupling.t -> Program.t -> run
+
+(** Paulihedral on the trapped-ion backend: FT-style scheduling and
+    cancellation, then lowering to native Mølmer–Sørensen gates. *)
+val ph_it : ?schedule:Config.schedule -> Program.t -> run
+
+(** t|ket⟩-style commuting-set synthesis, FT.  [strategy] as in
+    [Ph_baselines.Tk_like.compile]: [`Pairwise] (default, the tket the
+    paper benchmarked) or [`Sets] (stronger van den Berg–Temme
+    diagonalization). *)
+val tk_ft : ?strategy:[ `Pairwise | `Sets ] -> Ph_pauli_ir.Program.t -> run
+
+(** t|ket⟩-style + generic router on an SC device. *)
+val tk_sc : ?strategy:[ `Pairwise | `Sets ] -> Coupling.t -> Program.t -> run
+
+(** Naive per-term synthesis, FT (the Table 1 reference). *)
+val naive_ft : Program.t -> run
+
+(** Naive + generic router on an SC device. *)
+val naive_sc : Coupling.t -> Program.t -> run
+
+(** Algorithm-specific QAOA compiler on an SC device (Table 3). *)
+val qaoa_sc : Coupling.t -> Program.t -> run
+
+(** Verify a run against its rotation trace with the scalable
+    Pauli-frame checker (FT: identity residue; SC: layout-consistent
+    permutation).  Requires the run's circuit to still be
+    Clifford+Rz. *)
+val verified : run -> bool

@@ -1,0 +1,42 @@
+open Ph_gatelevel
+
+type metrics = {
+  cnot : int;
+  single : int;
+  total : int;
+  depth : int;
+  seconds : float;
+}
+
+let of_circuit ?(seconds = 0.) circuit =
+  let cnot = Circuit.cnot_count circuit in
+  let single = Circuit.single_qubit_count circuit in
+  {
+    cnot;
+    single;
+    total = cnot + single;
+    depth = Circuit.depth circuit;
+    seconds;
+  }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+let delta a b =
+  if a = 0 then nan else 100. *. float_of_int (b - a) /. float_of_int a
+
+let geomean = function
+  | [] -> nan
+  | xs ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0. xs /. float_of_int (List.length xs))
+
+let pp_row fmt name cols =
+  Format.fprintf fmt "%-14s" name;
+  List.iter (fun c -> Format.fprintf fmt " %12s" c) cols;
+  Format.pp_print_newline fmt ()
+
+let pp_metrics fmt m =
+  Format.fprintf fmt "cnot=%d single=%d total=%d depth=%d (%.2fs)" m.cnot m.single
+    m.total m.depth m.seconds

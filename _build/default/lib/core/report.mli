@@ -1,0 +1,30 @@
+(** The evaluation's metrics (CNOT / single-qubit / total gate counts and
+    circuit depth, Section 6.1) plus table-formatting helpers. *)
+
+open Ph_gatelevel
+
+type metrics = {
+  cnot : int;
+  single : int;
+  total : int;
+  depth : int;
+  seconds : float;  (** compilation wall time *)
+}
+
+(** Counts of a lowered circuit (SWAPs as 3 CNOTs / depth 3). *)
+val of_circuit : ?seconds:float -> Circuit.t -> metrics
+
+(** [timed f] runs [f ()] and returns its result with the elapsed time. *)
+val timed : (unit -> 'a) -> 'a * float
+
+(** [delta a b] — percentage change of [b] relative to [a]
+    ([(b − a) / a · 100]); [nan] when [a = 0]. *)
+val delta : int -> int -> float
+
+(** Geometric mean of positive ratios. *)
+val geomean : float list -> float
+
+(** Row printer: name then aligned columns. *)
+val pp_row : Format.formatter -> string -> string list -> unit
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,1 @@
+lib/gatelevel/circuit.ml: Array Format Fun Gate Hashtbl List Matrix Ph_linalg Printf Statevector

@@ -1,0 +1,1 @@
+lib/gatelevel/circuit.mli: Format Gate Ph_linalg

@@ -1,0 +1,1 @@
+lib/gatelevel/draw.ml: Array Buffer Circuit Gate List Printf String

@@ -1,0 +1,1 @@
+lib/gatelevel/draw.mli: Circuit

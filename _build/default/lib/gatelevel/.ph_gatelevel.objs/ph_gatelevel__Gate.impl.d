@@ -1,0 +1,1 @@
+lib/gatelevel/gate.ml: Cplx Format List Ph_linalg Printf

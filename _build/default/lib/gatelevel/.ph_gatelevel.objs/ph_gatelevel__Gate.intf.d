@@ -1,0 +1,1 @@
+lib/gatelevel/gate.mli: Format Ph_linalg

@@ -1,0 +1,1 @@
+lib/gatelevel/peephole.ml: Array Circuit Gate

@@ -1,0 +1,1 @@
+lib/gatelevel/qasm.ml: Array Buffer Circuit Gate List Printf String

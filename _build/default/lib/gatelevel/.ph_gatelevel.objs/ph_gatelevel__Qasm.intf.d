@@ -1,0 +1,1 @@
+lib/gatelevel/qasm.mli: Circuit

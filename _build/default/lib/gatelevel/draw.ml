@@ -1,0 +1,75 @@
+let label = function
+  | Gate.H _ -> "H"
+  | Gate.X _ -> "X"
+  | Gate.Y _ -> "Y"
+  | Gate.Z _ -> "Z"
+  | Gate.S _ -> "S"
+  | Gate.Sdg _ -> "S'"
+  | Gate.Rz (t, _) -> Printf.sprintf "rz(%.2g)" t
+  | Gate.Rx (t, _) -> Printf.sprintf "rx(%.2g)" t
+  | Gate.Ry (t, _) -> Printf.sprintf "ry(%.2g)" t
+  | Gate.Cnot _ -> "X"
+  | Gate.Swap _ -> "x"
+  | Gate.Rxx (t, _, _) -> Printf.sprintf "MS(%.2g)" t
+
+let render ?(max_columns = 40) circuit =
+  let n = Circuit.n_qubits circuit in
+  let layers = Circuit.layers circuit in
+  let shown, truncated =
+    if List.length layers > max_columns then
+      List.filteri (fun i _ -> i < max_columns) layers, true
+    else layers, false
+  in
+  (* Grid rows: wires at even indices, connector rows between. *)
+  let rows = (2 * n) - 1 in
+  let columns =
+    List.map
+      (fun layer ->
+        let width =
+          List.fold_left (fun w g -> max w (String.length (label g))) 1 layer
+        in
+        let cells = Array.make rows (String.make width ' ') in
+        for q = 0 to n - 1 do
+          cells.(2 * q) <- String.make width '-'
+        done;
+        let pad c s =
+          let missing = width - String.length s in
+          let left = missing / 2 in
+          String.make left c ^ s ^ String.make (missing - left) c
+        in
+        List.iter
+          (fun g ->
+            match g, Gate.qubits g with
+            | Gate.Cnot (c, t), _ ->
+              cells.(2 * c) <- pad '-' "o";
+              cells.(2 * t) <- pad '-' (label g);
+              for r = (2 * min c t) + 1 to (2 * max c t) - 1 do
+                if r mod 2 = 1 then cells.(r) <- pad ' ' "|"
+                else cells.(r) <- pad '-' "|"
+              done
+            | (Gate.Swap (a, b) | Gate.Rxx (_, a, b)), _ ->
+              cells.(2 * a) <- pad '-' (label g);
+              cells.(2 * b) <- pad '-' (label g);
+              for r = (2 * min a b) + 1 to (2 * max a b) - 1 do
+                if r mod 2 = 1 then cells.(r) <- pad ' ' "|"
+                else cells.(r) <- pad '-' "|"
+              done
+            | g, [ q ] -> cells.(2 * q) <- pad '-' (label g)
+            | _ -> ())
+          layer;
+        cells)
+      shown
+  in
+  let buf = Buffer.create 1024 in
+  for r = 0 to rows - 1 do
+    if r mod 2 = 0 then Buffer.add_string buf (Printf.sprintf "q%-2d: -" (r / 2))
+    else Buffer.add_string buf "      ";
+    List.iter
+      (fun cells ->
+        Buffer.add_string buf cells.(r);
+        Buffer.add_string buf (if r mod 2 = 0 then "-" else " "))
+      columns;
+    if truncated && r mod 2 = 0 then Buffer.add_string buf "...";
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** ASCII circuit diagrams: one wire per qubit, gates packed into ASAP
+    layers, two-qubit gates joined by vertical connectors.
+
+    {v
+    q0: ──H───●──────────
+              │
+    q1: ──────X───rz─────
+    v} *)
+
+(** [render c] draws the whole circuit.  [max_columns] (default 40)
+    truncates wide circuits with an ellipsis. *)
+val render : ?max_columns:int -> Circuit.t -> string

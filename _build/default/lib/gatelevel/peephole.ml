@@ -1,0 +1,74 @@
+let zero_rotation = function
+  | Gate.Rz (t, _) | Gate.Rx (t, _) | Gate.Ry (t, _) | Gate.Rxx (t, _, _) ->
+    abs_float t < 1e-12
+  | _ -> false
+
+let merge a b =
+  match a, b with
+  | Gate.Rz (t, p), Gate.Rz (u, q) when p = q -> Some (Gate.Rz (t +. u, p))
+  | Gate.Rx (t, p), Gate.Rx (u, q) when p = q -> Some (Gate.Rx (t +. u, p))
+  | Gate.Ry (t, p), Gate.Ry (u, q) when p = q -> Some (Gate.Ry (t +. u, p))
+  | Gate.Rxx (t, a1, b1), Gate.Rxx (u, a2, b2)
+    when (a1 = a2 && b1 = b2) || (a1 = b2 && b1 = a2) ->
+    Some (Gate.Rxx (t +. u, a1, b1))
+  | _ -> None
+
+(* One pass.  [slots] holds live gates; for the incoming gate [g] we walk
+   backwards over live slots, skipping gates that commute with [g], until
+   we hit a cancellation/merge partner or a blocking gate. *)
+let cancel_once ?(window = 400) circuit =
+  let gs = Circuit.gates circuit in
+  let m = Array.length gs in
+  let slots = Array.make m None in
+  let removed = ref 0 in
+  for i = 0 to m - 1 do
+    let g = gs.(i) in
+    if zero_rotation g then incr removed
+    else begin
+      let placed = ref false in
+      let steps = ref 0 in
+      let j = ref (i - 1) in
+      while (not !placed) && !j >= 0 && !steps < window do
+        (match slots.(!j) with
+        | None -> ()
+        | Some h ->
+          incr steps;
+          if Gate.cancels h g then begin
+            slots.(!j) <- None;
+            removed := !removed + 2;
+            placed := true
+          end
+          else
+            match merge h g with
+            | Some merged ->
+              if zero_rotation merged then begin
+                slots.(!j) <- None;
+                removed := !removed + 2
+              end
+              else begin
+                slots.(!j) <- Some merged;
+                incr removed
+              end;
+              placed := true
+            | None ->
+              if not (Gate.commutes h g) then begin
+                slots.(i) <- Some g;
+                placed := true
+              end);
+        decr j
+      done;
+      if not !placed then slots.(i) <- Some g
+    end
+  done;
+  let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
+  Array.iter (function Some g -> Circuit.Builder.add b g | None -> ()) slots;
+  Circuit.Builder.to_circuit b, !removed
+
+let optimize ?window ?(max_rounds = 20) circuit =
+  let rec go c round =
+    if round >= max_rounds then c
+    else
+      let c', removed = cancel_once ?window c in
+      if removed = 0 then c' else go c' (round + 1)
+  in
+  go circuit 0

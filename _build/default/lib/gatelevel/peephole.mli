@@ -1,0 +1,16 @@
+(** Generic gate-level cleanup: the "industry generic compiler" stage the
+    paper runs after every configuration (its Qiskit-L3 role).
+
+    Rewrites are local and commutation-aware, in the style of Nam et al.:
+    a gate cancels or merges with an earlier gate when every gate in
+    between commutes with it.  Covers inverse-pair cancellation
+    (H·H, CNOT·CNOT, S·S†, X·X, SWAP·SWAP, ...), rotation merging
+    (Rz·Rz, Rx·Rx, Ry·Ry on the same qubit) and zero-rotation removal. *)
+
+(** [cancel_once c] performs one left-to-right pass; returns the rewritten
+    circuit and the number of gates removed. *)
+val cancel_once : ?window:int -> Circuit.t -> Circuit.t * int
+
+(** [optimize c] iterates {!cancel_once} to a fixpoint (bounded by
+    [max_rounds], default 20). *)
+val optimize : ?window:int -> ?max_rounds:int -> Circuit.t -> Circuit.t

@@ -1,0 +1,150 @@
+let gate_line = function
+  | Gate.H q -> Printf.sprintf "h q[%d];" q
+  | Gate.X q -> Printf.sprintf "x q[%d];" q
+  | Gate.Y q -> Printf.sprintf "y q[%d];" q
+  | Gate.Z q -> Printf.sprintf "z q[%d];" q
+  | Gate.S q -> Printf.sprintf "s q[%d];" q
+  | Gate.Sdg q -> Printf.sprintf "sdg q[%d];" q
+  | Gate.Rz (t, q) -> Printf.sprintf "rz(%.17g) q[%d];" t q
+  | Gate.Rx (t, q) -> Printf.sprintf "rx(%.17g) q[%d];" t q
+  | Gate.Ry (t, q) -> Printf.sprintf "ry(%.17g) q[%d];" t q
+  | Gate.Cnot (a, b) -> Printf.sprintf "cx q[%d],q[%d];" a b
+  | Gate.Swap (a, b) -> Printf.sprintf "swap q[%d],q[%d];" a b
+  | Gate.Rxx (t, a, b) -> Printf.sprintf "rxx(%.17g) q[%d],q[%d];" t a b
+
+let header n =
+  Printf.sprintf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[%d];\n" n
+
+let export circuit =
+  let buf = Buffer.create (32 * Circuit.length circuit) in
+  Buffer.add_string buf (header (Circuit.n_qubits circuit));
+  Array.iter
+    (fun g ->
+      Buffer.add_string buf (gate_line g);
+      Buffer.add_char buf '\n')
+    (Circuit.gates circuit);
+  Buffer.contents buf
+
+let export_to_channel oc circuit =
+  output_string oc (header (Circuit.n_qubits circuit));
+  Array.iter
+    (fun g ->
+      output_string oc (gate_line g);
+      output_char oc '\n')
+    (Circuit.gates circuit)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Statement-level parser for the exported subset: statements end with
+   ';'; '//' comments run to end of line. *)
+let statements src =
+  let no_comments =
+    String.split_on_char '\n' src
+    |> List.map (fun line ->
+           match String.index_opt line '/' with
+           | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+             String.sub line 0 i
+           | _ -> line)
+    |> String.concat " "
+  in
+  String.split_on_char ';' no_comments
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+(* "name(arg)? q[i](,q[j])?" -> (name, args, qubits) *)
+let parse_statement stmt =
+  let stmt = String.trim stmt in
+  let name_end =
+    match String.index_opt stmt ' ', String.index_opt stmt '(' with
+    | Some a, Some b -> min a b
+    | Some a, None -> a
+    | None, Some b -> b
+    | None, None -> fail "malformed statement %S" stmt
+  in
+  let name = String.sub stmt 0 name_end in
+  let rest = String.sub stmt name_end (String.length stmt - name_end) in
+  let angle, operands =
+    if String.length rest > 0 && String.trim rest <> "" && (String.trim rest).[0] = '(' then begin
+      let rest = String.trim rest in
+      match String.index_opt rest ')' with
+      | None -> fail "unterminated angle in %S" stmt
+      | Some close ->
+        let inside = String.sub rest 1 (close - 1) in
+        let angle =
+          match float_of_string_opt (String.trim inside) with
+          | Some f -> Some f
+          | None -> fail "bad angle %S" inside
+        in
+        angle, String.sub rest (close + 1) (String.length rest - close - 1)
+    end
+    else None, rest
+  in
+  if List.mem name [ "OPENQASM"; "include"; "barrier"; "creg"; "measure" ] then
+    name, angle, []
+  else
+  let qubits =
+    String.split_on_char ',' operands
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun operand ->
+           (* q[i] *)
+           match String.index_opt operand '[', String.index_opt operand ']' with
+           | Some l, Some r when r > l + 1 ->
+             (match int_of_string_opt (String.sub operand (l + 1) (r - l - 1)) with
+             | Some i -> i
+             | None -> fail "bad qubit index %S" operand)
+           | _ -> fail "bad operand %S" operand)
+  in
+  name, angle, qubits
+
+let parse src =
+  let stmts = statements src in
+  let n_qubits = ref 0 in
+  let gates = ref [] in
+  let one name = function
+    | [ q ] -> q
+    | _ -> fail "%s needs one qubit" name
+  in
+  let two name = function
+    | [ a; b ] -> a, b
+    | _ -> fail "%s needs two qubits" name
+  in
+  let angle name = function Some t -> t | None -> fail "%s needs an angle" name in
+  List.iter
+    (fun stmt ->
+      match parse_statement stmt with
+      | "OPENQASM", _, _ | "include", _, _ | "barrier", _, _ | "creg", _, _
+      | "measure", _, _ ->
+        ()
+      | "qreg", _, [ n ] -> n_qubits := n
+      | "h", _, qs -> gates := Gate.H (one "h" qs) :: !gates
+      | "x", _, qs -> gates := Gate.X (one "x" qs) :: !gates
+      | "y", _, qs -> gates := Gate.Y (one "y" qs) :: !gates
+      | "z", _, qs -> gates := Gate.Z (one "z" qs) :: !gates
+      | "s", _, qs -> gates := Gate.S (one "s" qs) :: !gates
+      | "sdg", _, qs -> gates := Gate.Sdg (one "sdg" qs) :: !gates
+      | "rz", a, qs -> gates := Gate.Rz (angle "rz" a, one "rz" qs) :: !gates
+      | "rx", a, qs -> gates := Gate.Rx (angle "rx" a, one "rx" qs) :: !gates
+      | "ry", a, qs -> gates := Gate.Ry (angle "ry" a, one "ry" qs) :: !gates
+      | "cx", _, qs ->
+        let a, b = two "cx" qs in
+        gates := Gate.Cnot (a, b) :: !gates
+      | "swap", _, qs ->
+        let a, b = two "swap" qs in
+        gates := Gate.Swap (a, b) :: !gates
+      | "rxx", t, qs ->
+        let a, b = two "rxx" qs in
+        gates := Gate.Rxx (angle "rxx" t, a, b) :: !gates
+      | name, _, _ -> fail "unsupported statement %S" name)
+    stmts;
+  if !n_qubits <= 0 then fail "missing qreg declaration";
+  let gates = List.rev !gates in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun q -> if q < 0 || q >= !n_qubits then fail "qubit %d out of range" q)
+        (Gate.qubits g))
+    gates;
+  Circuit.of_gates !n_qubits gates

@@ -1,0 +1,21 @@
+(** OpenQASM 2.0 export — the interchange format every downstream stack
+    (Qiskit, tket, simulators) consumes. *)
+
+(** [export c] renders the circuit as a complete OpenQASM 2.0 program
+    (header, one quantum register [q], one gate per line).  All gates of
+    {!Gate.t} map to standard [qelib1] gates ([Sdg] → [sdg],
+    [Swap] → [swap], rotations keep their angles). *)
+val export : Circuit.t -> string
+
+(** [export_to_channel oc c] streams the program (avoids building the
+    string for very large circuits). *)
+val export_to_channel : out_channel -> Circuit.t -> unit
+
+exception Parse_error of string
+
+(** [parse src] reads back the exported subset: one [qreg], the gate set
+    of {!Gate.t} with numeric angles, [//] comments; [barrier], [creg]
+    and [measure] statements are accepted and ignored.  Round-trips with
+    {!export}.
+    @raise Parse_error on anything else. *)
+val parse : string -> Circuit.t

@@ -1,0 +1,1 @@
+lib/hardware/coupling.ml: Array Format List Printf Queue Stdlib

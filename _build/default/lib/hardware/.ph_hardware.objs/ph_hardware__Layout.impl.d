@@ -1,0 +1,1 @@
+lib/hardware/layout.ml: Array Coupling Format Fun

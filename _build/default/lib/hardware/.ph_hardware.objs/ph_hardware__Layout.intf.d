@@ -1,0 +1,1 @@
+lib/hardware/layout.mli: Coupling Format

@@ -1,0 +1,1 @@
+lib/hardware/noise_model.ml: Array Circuit Gate Hashtbl List Ph_gatelevel

@@ -1,0 +1,1 @@
+lib/hardware/noise_model.mli: Coupling Ph_gatelevel

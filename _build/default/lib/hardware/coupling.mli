@@ -1,0 +1,51 @@
+(** Undirected device coupling graphs, with the graph queries the SC
+    backend and the routers need (adjacency, shortest paths, connected
+    components of qubit subsets, dense-subgraph extraction). *)
+
+type t
+
+(** [create n edges] builds a graph on nodes [0..n-1]; edges are
+    undirected and deduplicated.
+    @raise Invalid_argument on out-of-range endpoints or self-loops. *)
+val create : int -> (int * int) list -> t
+
+val n_qubits : t -> int
+val edges : t -> (int * int) list
+val n_edges : t -> int
+
+val adjacent : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+(** Hop distance ([max_int] when disconnected); all-pairs BFS, cached. *)
+val distance : t -> int -> int -> int
+
+(** [shortest_path g a b] includes both endpoints.
+    @raise Not_found when disconnected. *)
+val shortest_path : t -> int -> int -> int list
+
+(** Dijkstra with per-edge costs (e.g. SWAP error rates). *)
+val shortest_path_weighted : t -> cost:(int -> int -> float) -> int -> int -> int list
+
+val is_connected : t -> bool
+
+(** [subset_components g nodes] — connected components of the subgraph
+    induced by [nodes]. *)
+val subset_components : t -> int list -> int list list
+
+(** [component_of g nodes v] — the component of [v] within the induced
+    subgraph ([v] must be a member). *)
+val component_of : t -> int list -> int -> int list
+
+(** [densest_subgraph g k] — a greedy approximation of the most-connected
+    [k]-node subgraph (Algorithm 3's initial mapping): grow from the
+    max-degree node, always adding the outside node with the most edges
+    into the set.  Nodes are returned in the order they were added. *)
+val densest_subgraph : t -> int -> int list
+
+(** [bfs_tree g ~root ~nodes] — parent array of a BFS spanning tree of the
+    induced subgraph reachable from [root]; [parents.(root) = root];
+    nodes outside [nodes] or unreachable get [-1]. *)
+val bfs_tree : t -> root:int -> nodes:int list -> int array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type t = { l2p : int array; p2l : int array }
+
+let identity n_logical n_physical =
+  if n_logical > n_physical then invalid_arg "Layout.identity: too many logical qubits";
+  {
+    l2p = Array.init n_logical Fun.id;
+    p2l = Array.init n_physical (fun p -> if p < n_logical then p else -1);
+  }
+
+let of_assignment ~n_physical phys_of =
+  let n_logical = Array.length phys_of in
+  if n_logical > n_physical then invalid_arg "Layout.of_assignment: too many logical qubits";
+  let p2l = Array.make n_physical (-1) in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_physical then invalid_arg "Layout.of_assignment: range";
+      if p2l.(p) <> -1 then invalid_arg "Layout.of_assignment: not injective";
+      p2l.(p) <- l)
+    phys_of;
+  { l2p = Array.copy phys_of; p2l }
+
+let most_connected coupling ~n_logical =
+  let nodes = Coupling.densest_subgraph coupling n_logical in
+  of_assignment ~n_physical:(Coupling.n_qubits coupling) (Array.of_list nodes)
+
+let n_logical l = Array.length l.l2p
+let n_physical l = Array.length l.p2l
+
+let phys l q = l.l2p.(q)
+
+let log l p = if l.p2l.(p) = -1 then None else Some l.p2l.(p)
+
+let swap_physical l a b =
+  let la = l.p2l.(a) and lb = l.p2l.(b) in
+  l.p2l.(a) <- lb;
+  l.p2l.(b) <- la;
+  if lb <> -1 then l.l2p.(lb) <- a;
+  if la <> -1 then l.l2p.(la) <- b
+
+let copy l = { l2p = Array.copy l.l2p; p2l = Array.copy l.p2l }
+
+let to_array l = Array.copy l.l2p
+
+let pp fmt l =
+  Array.iteri (fun q p -> Format.fprintf fmt "q%d->%d " q p) l.l2p

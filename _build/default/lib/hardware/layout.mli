@@ -1,0 +1,37 @@
+(** Mutable logical↔physical qubit mappings, updated as routers insert
+    SWAPs.  Logical qubits are the program's; physical qubits index the
+    coupling graph. *)
+
+type t
+
+(** [identity n_logical n_physical] maps logical [i] to physical [i].
+    @raise Invalid_argument if [n_logical > n_physical]. *)
+val identity : int -> int -> t
+
+(** [of_assignment ~n_physical phys] maps logical [i] to [phys.(i)]
+    (injective). *)
+val of_assignment : n_physical:int -> int array -> t
+
+(** Initial mapping of Algorithm 3 line 1: logical qubits onto the most
+    connected subgraph of the device. *)
+val most_connected : Coupling.t -> n_logical:int -> t
+
+val n_logical : t -> int
+val n_physical : t -> int
+
+(** [phys l q] — physical position of logical [q]. *)
+val phys : t -> int -> int
+
+(** [log l p] — logical qubit at physical [p], if any. *)
+val log : t -> int -> int option
+
+(** [swap_physical l a b] — record that a SWAP was applied between
+    physical qubits [a] and [b] (either may be unoccupied). *)
+val swap_physical : t -> int -> int -> unit
+
+val copy : t -> t
+
+(** Permutation as an array: entry [q] is [phys l q]. *)
+val to_array : t -> int array
+
+val pp : Format.formatter -> t -> unit

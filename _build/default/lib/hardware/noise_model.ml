@@ -1,0 +1,55 @@
+open Ph_gatelevel
+
+type t = {
+  cnot_error : int -> int -> float;
+  single_error : int -> float;
+  readout_error : int -> float;
+}
+
+let uniform ?(cnot = 1e-2) ?(single = 1e-3) ?(readout = 2e-2) () =
+  {
+    cnot_error = (fun _ _ -> cnot);
+    single_error = (fun _ -> single);
+    readout_error = (fun _ -> readout);
+  }
+
+(* Deterministic hash-based pseudo-random factor, log-uniform in
+   [1/spread, spread] — real calibration data shows order-of-magnitude
+   variation between the best and worst CNOT pairs. *)
+let jitter ~spread seed key =
+  let h = Hashtbl.hash (seed, key) land 0xFFFF in
+  let u = (2. *. (float_of_int h /. 65535.)) -. 1. in
+  exp (u *. log spread)
+
+let calibrated coupling ~seed ?(cnot = 1e-2) ?(single = 1e-3) ?(readout = 2e-2)
+    ?(spread = 3.0) () =
+  ignore coupling;
+  {
+    cnot_error =
+      (fun a b ->
+        let lo = min a b and hi = max a b in
+        min 0.5 (cnot *. jitter ~spread seed (lo, hi, "cx")));
+    single_error = (fun q -> min 0.5 (single *. jitter ~spread:1.5 seed (q, "1q")));
+    readout_error = (fun q -> min 0.5 (readout *. jitter ~spread:1.5 seed (q, "ro")));
+  }
+
+let gate_error t g =
+  match g with
+  | Gate.Cnot (a, b) | Gate.Rxx (_, a, b) -> t.cnot_error a b
+  | Gate.Swap (a, b) ->
+    let e = t.cnot_error a b in
+    1. -. ((1. -. e) ** 3.)
+  | g -> t.single_error (List.hd (Gate.qubits g))
+
+let esp t circuit =
+  let touched = Array.make (Circuit.n_qubits circuit) false in
+  let p =
+    Array.fold_left
+      (fun acc g ->
+        List.iter (fun q -> touched.(q) <- true) (Gate.qubits g);
+        acc *. (1. -. gate_error t g))
+      1. (Circuit.gates circuit)
+  in
+  let ro = ref 1. in
+  Array.iteri (fun q used -> if used then ro := !ro *. (1. -. t.readout_error q)) touched;
+  p *. !ro

@@ -1,0 +1,28 @@
+(** Per-gate error rates in the style of vendor calibration data, and the
+    Estimated Success Probability (ESP) metric of Section 6.4:
+    [ESP = Π_gates (1 − ε_gate) · Π_measured (1 − ε_readout)]. *)
+
+type t = {
+  cnot_error : int -> int -> float;  (** physical pair → CNOT error rate *)
+  single_error : int -> float;       (** physical qubit → 1q error rate *)
+  readout_error : int -> float;
+}
+
+(** Uniform rates (defaults: CNOT 1e-2, single-qubit 1e-3,
+    readout 2e-2 — typical of the Melbourne generation). *)
+val uniform : ?cnot:float -> ?single:float -> ?readout:float -> unit -> t
+
+(** Calibration-like rates varying per qubit/pair, deterministic in
+    [seed]: each CNOT error drawn log-uniformly in
+    [[base/spread, base·spread]] (default [spread = 3], matching the
+    order-of-magnitude variation of real calibration data);
+    single-qubit/readout rates use a milder 1.5× spread. *)
+val calibrated : Coupling.t -> seed:int -> ?cnot:float -> ?single:float ->
+  ?readout:float -> ?spread:float -> unit -> t
+
+(** [esp t circuit] — SWAPs count as three CNOTs.  Includes readout on
+    every qubit the circuit touches. *)
+val esp : t -> Ph_gatelevel.Circuit.t -> float
+
+(** Error rate of the gate (SWAP = 3 CNOT compositions). *)
+val gate_error : t -> Ph_gatelevel.Gate.t -> float

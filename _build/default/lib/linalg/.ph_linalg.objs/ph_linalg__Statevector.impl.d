@@ -1,0 +1,1 @@
+lib/linalg/statevector.ml: Array Cplx

@@ -1,0 +1,1 @@
+lib/linalg/statevector.mli: Cplx

@@ -1,0 +1,1 @@
+lib/pauli/pauli_string.ml: Array Bytes Char Format Hashtbl List Pauli Printf Stdlib String

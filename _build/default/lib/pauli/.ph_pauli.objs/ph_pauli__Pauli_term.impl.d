@@ -1,0 +1,1 @@
+lib/pauli/pauli_term.ml: Format Pauli_string Stdlib

@@ -1,0 +1,1 @@
+lib/pauli/pauli_term.mli: Format Pauli Pauli_string

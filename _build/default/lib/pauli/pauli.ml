@@ -1,0 +1,52 @@
+type t = I | X | Y | Z
+
+let equal a b =
+  match a, b with
+  | I, I | X, X | Y, Y | Z, Z -> true
+  | (I | X | Y | Z), _ -> false
+
+let to_code = function I -> 0 | X -> 1 | Y -> 2 | Z -> 3
+
+let of_code = function
+  | 0 -> I
+  | 1 -> X
+  | 2 -> Y
+  | 3 -> Z
+  | c -> invalid_arg (Printf.sprintf "Pauli.of_code: %d" c)
+
+let compare a b = Stdlib.compare (to_code a) (to_code b)
+
+let to_char = function I -> 'I' | X -> 'X' | Y -> 'Y' | Z -> 'Z'
+
+let of_char = function
+  | 'I' | 'i' -> I
+  | 'X' | 'x' -> X
+  | 'Y' | 'y' -> Y
+  | 'Z' | 'z' -> Z
+  | c -> invalid_arg (Printf.sprintf "Pauli.of_char: %c" c)
+
+(* Multiplication table of the Pauli group modulo global phase, together
+   with the phase exponent k in a·b = i^k·p.  The non-trivial products are
+   X·Y = iZ and cyclic permutations; swapping the factors negates the
+   phase (k -> 4 - k). *)
+let mul a b =
+  match a, b with
+  | I, p | p, I -> 0, p
+  | X, X | Y, Y | Z, Z -> 0, I
+  | X, Y -> 1, Z
+  | Y, X -> 3, Z
+  | Y, Z -> 1, X
+  | Z, Y -> 3, X
+  | Z, X -> 1, Y
+  | X, Z -> 3, Y
+
+let commutes a b =
+  match a, b with
+  | I, _ | _, I -> true
+  | _ -> equal a b
+
+let paper_rank = function X -> 0 | Y -> 1 | Z -> 2 | I -> 3
+
+let all = [ I; X; Y; Z ]
+
+let pp fmt p = Format.pp_print_char fmt (to_char p)

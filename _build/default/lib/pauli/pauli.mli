@@ -1,0 +1,43 @@
+(** Single-qubit Pauli operators and their algebra.
+
+    The four operators [I], [X], [Y], [Z] form the basis of everything in
+    this library: Pauli strings are tensor products of these, and the
+    quantum simulation kernel is a product of exponentials of weighted
+    Pauli strings. *)
+
+type t = I | X | Y | Z
+
+val equal : t -> t -> bool
+
+(** Structural comparison in the order [I < X < Y < Z]. *)
+val compare : t -> t -> int
+
+(** [to_char p] is ['I'], ['X'], ['Y'] or ['Z']. *)
+val to_char : t -> char
+
+(** [of_char c] parses a (case-insensitive) Pauli letter.
+    @raise Invalid_argument on any other character. *)
+val of_char : char -> t
+
+(** [to_code p] encodes [I], [X], [Y], [Z] as [0..3]. *)
+val to_code : t -> int
+
+(** Inverse of {!to_code}. @raise Invalid_argument outside [0..3]. *)
+val of_code : int -> t
+
+(** [mul a b] is the product [a·b] as [(k, p)] such that [a·b = i^k · p],
+    with the phase exponent [k ∈ {0, 1, 2, 3}]. *)
+val mul : t -> t -> int * t
+
+(** [commutes a b] is [true] iff [a·b = b·a]; single-qubit Paulis commute
+    exactly when they are equal or either is the identity. *)
+val commutes : t -> t -> bool
+
+(** Ranking used by the paper's lexicographic scheduling: [X < Y < Z < I]
+    (Section 4.1). *)
+val paper_rank : t -> int
+
+(** All four operators, in code order. *)
+val all : t list
+
+val pp : Format.formatter -> t -> unit

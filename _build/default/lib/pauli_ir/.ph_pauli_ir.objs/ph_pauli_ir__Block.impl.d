@@ -1,0 +1,1 @@
+lib/pauli_ir/block.ml: Array Format Fun List Pauli_string Pauli_term Ph_pauli

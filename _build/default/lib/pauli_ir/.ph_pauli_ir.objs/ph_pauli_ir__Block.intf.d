@@ -1,0 +1,1 @@
+lib/pauli_ir/block.mli: Format Ph_pauli

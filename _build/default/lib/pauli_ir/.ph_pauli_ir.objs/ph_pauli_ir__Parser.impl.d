@@ -1,0 +1,1 @@
+lib/pauli_ir/parser.ml: Block Buffer List Pauli_string Pauli_term Ph_pauli Printf Program String

@@ -1,0 +1,1 @@
+lib/pauli_ir/parser.mli: Program

@@ -1,0 +1,1 @@
+lib/pauli_ir/program.ml: Block Format List Pauli_string Pauli_term Ph_pauli Printf Stdlib

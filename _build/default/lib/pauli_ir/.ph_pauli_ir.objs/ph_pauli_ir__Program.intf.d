@@ -1,0 +1,1 @@
+lib/pauli_ir/program.mli: Block Format Ph_pauli

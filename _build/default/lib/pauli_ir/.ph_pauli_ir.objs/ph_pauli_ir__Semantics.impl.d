@@ -1,0 +1,1 @@
+lib/pauli_ir/semantics.ml: Array Block Cplx List Matrix Pauli Pauli_string Pauli_term Ph_linalg Ph_pauli Program

@@ -1,0 +1,1 @@
+lib/pauli_ir/semantics.mli: Matrix Pauli_string Ph_linalg Ph_pauli Program

@@ -1,0 +1,1 @@
+lib/pauli_ir/trotter.ml: Block List Pauli_term Ph_pauli Program

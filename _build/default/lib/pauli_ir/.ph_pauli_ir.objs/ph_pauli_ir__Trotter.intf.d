@@ -1,0 +1,1 @@
+lib/pauli_ir/trotter.mli: Block Pauli_term Ph_pauli Program

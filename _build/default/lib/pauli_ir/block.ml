@@ -1,0 +1,83 @@
+open Ph_pauli
+
+type param = { label : string option; value : float }
+
+type t = { terms : Pauli_term.t list; param : param }
+
+let make terms param =
+  match terms with
+  | [] -> invalid_arg "Block.make: empty term list"
+  | first :: rest ->
+    let n = Pauli_term.n_qubits first in
+    if List.exists (fun t -> Pauli_term.n_qubits t <> n) rest then
+      invalid_arg "Block.make: mixed qubit counts";
+    { terms; param }
+
+let fixed value = { label = None; value }
+let symbolic label value = { label = Some label; value }
+
+let single str coeff value = make [ Pauli_term.make str coeff ] (fixed value)
+
+let n_qubits b = Pauli_term.n_qubits (List.hd b.terms)
+
+let term_count b = List.length b.terms
+let terms b = b.terms
+let param b = b.param
+
+let active_qubits b =
+  let n = n_qubits b in
+  let active = Array.make n false in
+  List.iter
+    (fun (t : Pauli_term.t) ->
+      List.iter (fun q -> active.(q) <- true) (Pauli_string.support t.str))
+    b.terms;
+  List.filter (fun q -> active.(q)) (List.init n Fun.id)
+
+let active_length b = List.length (active_qubits b)
+
+let core_qubits b =
+  let n = n_qubits b in
+  let core = Array.make n true in
+  List.iter
+    (fun (t : Pauli_term.t) ->
+      for q = 0 to n - 1 do
+        if not (Pauli_string.active t.str q) then core.(q) <- false
+      done)
+    b.terms;
+  List.filter (fun q -> core.(q)) (List.init n Fun.id)
+
+let representative b = List.hd b.terms
+
+let sort_terms_lex ?rank b =
+  { b with terms = List.sort (Pauli_term.compare_lex ?rank) b.terms }
+
+let with_terms b terms = make terms b.param
+
+let disjoint a b =
+  let qa = active_qubits a in
+  let qb = active_qubits b in
+  not (List.exists (fun q -> List.mem q qb) qa)
+
+let overlap a b =
+  let last = List.nth a.terms (List.length a.terms - 1) in
+  let first = List.hd b.terms in
+  Pauli_string.overlap last.str first.str
+
+let mutually_commuting b =
+  let rec go = function
+    | [] -> true
+    | (t : Pauli_term.t) :: rest ->
+      List.for_all (fun (u : Pauli_term.t) -> Pauli_string.commutes t.str u.str) rest
+      && go rest
+  in
+  go b.terms
+
+let pp fmt b =
+  let pp_param fmt p =
+    match p.label with
+    | Some l -> Format.fprintf fmt "%s" l
+    | None -> Format.fprintf fmt "%g" p.value
+  in
+  Format.fprintf fmt "{";
+  List.iter (fun t -> Format.fprintf fmt "%a, " Pauli_term.pp t) b.terms;
+  Format.fprintf fmt "%a}" pp_param b.param

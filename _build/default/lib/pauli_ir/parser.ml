@@ -1,0 +1,154 @@
+open Ph_pauli
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Num of float
+  | Ident of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_num_char c = (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+' || c = '-'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then (toks := Lbrace :: !toks; incr i)
+    else if c = '}' then (toks := Rbrace :: !toks; incr i)
+    else if c = '(' then (toks := Lparen :: !toks; incr i)
+    else if c = ')' then (toks := Rparen :: !toks; incr i)
+    else if c = ',' then (toks := Comma :: !toks; incr i)
+    else if c = ';' then (toks := Semi :: !toks; incr i)
+    else if (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_num_char src.[!i] do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> toks := Num f :: !toks
+      | None -> fail "bad number %S" text
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      toks := Ident (String.sub src start (!i - start)) :: !toks
+    end
+    else fail "unexpected character %C" c
+  done;
+  List.rev !toks
+
+let is_pauli_word s =
+  s <> "" && String.for_all (fun c -> c = 'I' || c = 'X' || c = 'Y' || c = 'Z') s
+
+let parse ?(params = []) ?default src =
+  let lookup name =
+    match List.assoc_opt name params, default with
+    | Some v, _ -> v
+    | None, Some d -> d
+    | None, None -> fail "unbound parameter %S" name
+  in
+  let toks = ref (tokenize src) in
+  let next () =
+    match !toks with
+    | [] -> fail "unexpected end of input"
+    | t :: rest ->
+      toks := rest;
+      t
+  in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let expect t what =
+    let got = next () in
+    if got <> t then fail "expected %s" what
+  in
+  let parse_pair () =
+    expect Lparen "'('";
+    let str =
+      match next () with
+      | Ident s when is_pauli_word s -> Pauli_string.of_string s
+      | Ident s -> fail "expected Pauli string, got %S" s
+      | _ -> fail "expected Pauli string"
+    in
+    expect Comma "','";
+    let w = match next () with Num f -> f | _ -> fail "expected weight" in
+    expect Rparen "')'";
+    Pauli_term.make str w
+  in
+  let parse_block () =
+    expect Lbrace "'{'";
+    let rec items acc =
+      match peek () with
+      | Some Lparen ->
+        let t = parse_pair () in
+        (match peek () with
+        | Some Comma ->
+          ignore (next ());
+          items (t :: acc)
+        | _ -> fail "expected ',' after term")
+      | Some (Num f) ->
+        ignore (next ());
+        List.rev acc, Block.fixed f
+      | Some (Ident name) ->
+        ignore (next ());
+        List.rev acc, Block.symbolic name (lookup name)
+      | _ -> fail "expected term or parameter"
+    in
+    let terms, param = items [] in
+    expect Rbrace "'}'";
+    if terms = [] then fail "empty block";
+    Block.make terms param
+  in
+  let rec parse_blocks acc =
+    match peek () with
+    | None -> List.rev acc
+    | Some Lbrace ->
+      let b = parse_block () in
+      (match peek () with
+      | Some Semi ->
+        ignore (next ());
+        parse_blocks (b :: acc)
+      | None -> List.rev (b :: acc)
+      | Some _ -> fail "expected ';' between blocks")
+    | Some _ -> fail "expected '{'"
+  in
+  match parse_blocks [] with
+  | [] -> fail "empty program"
+  | first :: _ as blocks -> Program.make (Block.n_qubits first) blocks
+
+let to_text prog =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (b : Block.t) ->
+      Buffer.add_char buf '{';
+      List.iter
+        (fun (t : Pauli_term.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "(%s, %.17g), " (Pauli_string.to_string t.str) t.coeff))
+        b.terms;
+      (match b.param.label with
+      | Some l -> Buffer.add_string buf l
+      | None -> Buffer.add_string buf (Printf.sprintf "%.17g" b.param.value));
+      Buffer.add_string buf "};\n")
+    (Program.blocks prog);
+  Buffer.contents buf

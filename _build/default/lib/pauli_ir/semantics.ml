@@ -1,0 +1,49 @@
+open Ph_pauli
+open Ph_linalg
+
+let op_matrix (p : Pauli.t) =
+  let c x : Cplx.t = { re = x; im = 0. } in
+  let ci x : Cplx.t = { re = 0.; im = x } in
+  let entries =
+    match p with
+    | Pauli.I -> [| c 1.; c 0.; c 0.; c 1. |]
+    | Pauli.X -> [| c 0.; c 1.; c 1.; c 0. |]
+    | Pauli.Y -> [| c 0.; ci (-1.); ci 1.; c 0. |]
+    | Pauli.Z -> [| c 1.; c 0.; c 0.; c (-1.) |]
+  in
+  Matrix.init 2 2 (fun i j -> entries.((2 * i) + j))
+
+let pauli_matrix p =
+  let n = Pauli_string.n_qubits p in
+  let m = ref (Matrix.identity 1) in
+  for i = n - 1 downto 0 do
+    m := Matrix.kron !m (op_matrix (Pauli_string.get p i))
+  done;
+  !m
+
+let term_unitary p theta =
+  let d = 1 lsl Pauli_string.n_qubits p in
+  let id = Matrix.identity d in
+  let pm = pauli_matrix p in
+  Matrix.add
+    (Matrix.scale { re = cos (theta /. 2.); im = 0. } id)
+    (Matrix.scale { re = 0.; im = -.sin (theta /. 2.) } pm)
+
+let hamiltonian prog =
+  let d = 1 lsl Program.n_qubits prog in
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      List.fold_left
+        (fun acc (t : Pauli_term.t) ->
+          Matrix.add acc
+            (Matrix.scale
+               { re = b.param.value *. t.coeff; im = 0. }
+               (pauli_matrix t.str)))
+        acc b.terms)
+    (Matrix.create d d) (Program.blocks prog)
+
+let kernel_unitary prog =
+  let d = 1 lsl Program.n_qubits prog in
+  List.fold_left
+    (fun acc (p, theta) -> Matrix.mul (term_unitary p theta) acc)
+    (Matrix.identity d) (Program.rotations prog)

@@ -1,0 +1,22 @@
+(** Denotational semantics of the Pauli IR (Figure 7) and the reference
+    unitary of the lowered kernel.  Dense matrices — small qubit counts
+    only; large-scale checking lives in [Ph_verify.Pauli_frame]. *)
+
+open Ph_pauli
+open Ph_linalg
+
+(** [pauli_matrix p] is [σ_{n-1} ⊗ ⋯ ⊗ σ_0] (qubit 0 = least-significant
+    index bit). *)
+val pauli_matrix : Pauli_string.t -> Matrix.t
+
+(** [term_unitary p θ] is [exp(-iθ/2·P) = cos(θ/2)·1 − i sin(θ/2)·P]
+    (valid because [P² = 1]). *)
+val term_unitary : Pauli_string.t -> float -> Matrix.t
+
+(** ⟦program⟧: the represented Hamiltonian
+    [Σ_blocks parameter · Σ_terms weight · P]. *)
+val hamiltonian : Program.t -> Matrix.t
+
+(** The unitary the lowered kernel must implement: the ordered product of
+    term rotations, first block applied first. *)
+val kernel_unitary : Program.t -> Matrix.t

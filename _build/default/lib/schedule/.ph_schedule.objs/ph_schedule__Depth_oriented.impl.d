@@ -1,0 +1,1 @@
+lib/schedule/depth_oriented.ml: Array Block Hashtbl Layer List Option Ph_pauli Ph_pauli_ir Program Stdlib

@@ -1,0 +1,1 @@
+lib/schedule/depth_oriented.mli: Layer Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/schedule/gco.ml: Block Layer List Pauli_term Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/schedule/gco.mli: Layer Ph_pauli Ph_pauli_ir Program

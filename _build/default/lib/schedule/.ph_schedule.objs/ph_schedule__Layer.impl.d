@@ -1,0 +1,1 @@
+lib/schedule/layer.ml: Block List Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Program Stdlib

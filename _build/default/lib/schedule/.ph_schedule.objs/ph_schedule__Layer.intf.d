@@ -1,0 +1,1 @@
+lib/schedule/layer.mli: Block Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/schedule/max_overlap.ml: Array Block Layer List Pauli_string Pauli_term Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/schedule/max_overlap.mli: Layer Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,101 @@
+open Ph_pauli_ir
+
+(* The argmax / padding scans are window-limited so that scheduling stays
+   near-linear on the paper's largest inputs (tens of thousands of
+   blocks); within the active-length-sorted order, far-away blocks are
+   poor candidates anyway. *)
+let scan_window = 512
+
+let schedule ?rank ?(padding = true) prog =
+  let blocks =
+    List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
+    |> List.stable_sort (fun a b ->
+           let c = Stdlib.compare (Block.active_length b) (Block.active_length a) in
+           if c <> 0 then c
+           else
+             Ph_pauli.Pauli_term.compare_lex ?rank (Block.representative a)
+               (Block.representative b))
+    |> Array.of_list
+  in
+  let m = Array.length blocks in
+  let alive = Array.make m true in
+  let n_alive = ref m in
+  let first_alive = ref 0 in
+  let advance () =
+    while !first_alive < m && not alive.(!first_alive) do
+      incr first_alive
+    done
+  in
+  let take i =
+    alive.(i) <- false;
+    decr n_alive;
+    advance ()
+  in
+  (* Fold over alive indices starting at [first_alive], visiting at most
+     [scan_window] live blocks. *)
+  let scan_alive f =
+    let visited = ref 0 in
+    let i = ref !first_alive in
+    while !i < m && !visited < scan_window do
+      if alive.(!i) then begin
+        incr visited;
+        f !i
+      end;
+      incr i
+    done
+  in
+  let layers = ref [] in
+  while !n_alive > 0 do
+    (* Leader: best overlap with the previous layer's tail strings. *)
+    let leader_idx =
+      match !layers with
+      | [] -> !first_alive
+      | last :: _ ->
+        let best = ref !first_alive and best_ov = ref (-1) in
+        scan_alive (fun i ->
+            let ov = Layer.overlap_with_tail last blocks.(i) in
+            if ov > !best_ov then begin
+              best_ov := ov;
+              best := i
+            end);
+        !best
+    in
+    let leader = blocks.(leader_idx) in
+    take leader_idx;
+    let chosen = ref [ leader ] in
+    if padding && !n_alive > 0 then begin
+      let leader_active = Block.active_qubits leader in
+      let occupied = Hashtbl.create 16 in
+      List.iter (fun q -> Hashtbl.replace occupied q ()) leader_active;
+      let budget = Layer.est_block_depth leader in
+      (* Padding blocks may stack on the same qubits as each other (their
+         depths then add up per qubit) but never on the leader's; a
+         candidate fits while its qubit region's accumulated depth stays
+         within the leader's estimated depth. *)
+      let load = Hashtbl.create 16 in
+      let load_of q = Option.value ~default:0 (Hashtbl.find_opt load q) in
+      let picked = ref [] in
+      scan_alive (fun i ->
+          let b = blocks.(i) in
+          let d = Layer.est_block_depth b in
+          let active = Block.active_qubits b in
+          let current = List.fold_left (fun acc q -> max acc (load_of q)) 0 active in
+          if
+            current + d <= budget
+            && not (List.exists (Hashtbl.mem occupied) active)
+          then begin
+            List.iter (fun q -> Hashtbl.replace load q (current + d)) active;
+            picked := i :: !picked
+          end);
+      List.iter
+        (fun i ->
+          chosen := blocks.(i) :: !chosen;
+          take i)
+        (List.rev !picked)
+    end;
+    layers := Layer.make (List.rev !chosen) :: !layers
+  done;
+  List.rev !layers
+
+let run ?rank ?padding prog =
+  Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank ?padding prog)

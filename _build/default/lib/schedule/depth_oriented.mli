@@ -1,0 +1,17 @@
+(** Depth-oriented scheduling (Algorithm 1).
+
+    Blocks are sorted by decreasing active length (lexicographic order
+    breaking ties); layers are formed by starting from the remaining
+    block with the best operator overlap against the previous layer's
+    tail, then padding the layer with small blocks whose active qubits
+    are disjoint from the leader, until the padding's estimated depth
+    would exceed the leader's. *)
+
+open Ph_pauli_ir
+
+(** [schedule ?padding p] — set [padding:false] to ablate Algorithm 1's
+    lines 7–10 (every layer is then a single block, but in DO order). *)
+val schedule :
+  ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Layer.t list
+
+val run : ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Program.t

@@ -1,0 +1,12 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let schedule ?rank prog =
+  let blocks = List.map (Block.sort_terms_lex ?rank) (Program.blocks prog) in
+  let compare_blocks a b =
+    Pauli_term.compare_lex ?rank (Block.representative a) (Block.representative b)
+  in
+  List.map Layer.of_block (List.stable_sort compare_blocks blocks)
+
+let run ?rank prog =
+  Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank prog)

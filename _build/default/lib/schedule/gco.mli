@@ -1,0 +1,12 @@
+(** Gate-count-oriented scheduling (Section 4.1): lexicographic ordering
+    of Pauli strings (rank [X < Y < Z < I], comparing qubit [n−1] down to
+    [q0]).  Multi-string blocks are first sorted internally, then ordered
+    by their first string.  Each block becomes its own layer. *)
+
+open Ph_pauli_ir
+
+(** [schedule p] returns singleton layers in lexicographic block order. *)
+val schedule : ?rank:(Ph_pauli.Pauli.t -> int) -> Program.t -> Layer.t list
+
+(** The scheduled program itself (same blocks, new order). *)
+val run : ?rank:(Ph_pauli.Pauli.t -> int) -> Program.t -> Program.t

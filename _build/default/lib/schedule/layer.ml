@@ -1,0 +1,36 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+type t = { blocks : Block.t list }
+
+let of_block b = { blocks = [ b ] }
+
+let make blocks =
+  if blocks = [] then invalid_arg "Layer.make: empty layer";
+  { blocks }
+
+let leader l = List.hd l.blocks
+let padding l = List.tl l.blocks
+
+let active_qubits l =
+  List.sort_uniq Stdlib.compare (List.concat_map Block.active_qubits l.blocks)
+
+let est_block_depth b =
+  List.fold_left
+    (fun acc (t : Pauli_term.t) ->
+      let w = Pauli_string.weight t.str in
+      acc + if w = 0 then 0 else (2 * (w - 1)) + 1)
+    0 (Block.terms b)
+
+let overlap_with_tail l b =
+  let first = (Block.representative b : Pauli_term.t) in
+  List.fold_left
+    (fun acc blk ->
+      let terms = Block.terms blk in
+      let last = List.nth terms (List.length terms - 1) in
+      max acc (Pauli_string.overlap last.Pauli_term.str first.Pauli_term.str))
+    0 l.blocks
+
+let flatten layers = List.concat_map (fun l -> l.blocks) layers
+
+let to_program ~n_qubits layers = Program.make n_qubits (flatten layers)

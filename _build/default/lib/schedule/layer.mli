@@ -1,0 +1,36 @@
+(** Pauli layers: groups of blocks scheduled for parallel execution.  The
+    first block of a layer is its {e leader} (the largest / critical-path
+    block, Algorithm 3); the rest is padding that occupies qubits disjoint
+    from the leader. *)
+
+open Ph_pauli_ir
+
+type t = { blocks : Block.t list }
+
+val of_block : Block.t -> t
+val make : Block.t list -> t
+
+(** The critical-path block (head). *)
+val leader : t -> Block.t
+
+(** The small blocks padded into the layer (tail). *)
+val padding : t -> Block.t list
+
+(** Union of the blocks' active qubits. *)
+val active_qubits : t -> int list
+
+(** Cheap depth estimate of a block before lowering: each string of
+    weight [w] contributes [2(w−1)] CNOT levels plus the rotation. *)
+val est_block_depth : Block.t -> int
+
+(** [overlap_with_tail layer b] — scheduling affinity: the best overlap
+    between the last string of any block in [layer] and the first string
+    of [b] (Section 4.2: "most overlapped Pauli operators with the
+    strings at the end of the previous layer"). *)
+val overlap_with_tail : t -> Block.t -> int
+
+val flatten : t list -> Block.t list
+
+(** Rebuild a program from scheduled layers (the semantics-preserving
+    block permutation). *)
+val to_program : n_qubits:int -> t list -> Program.t

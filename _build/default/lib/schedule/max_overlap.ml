@@ -1,0 +1,57 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let schedule ?rank ?(window = 512) prog =
+  (* Start from the lexicographic order (a good tour already), then chain
+     greedily: the window scans the not-yet-scheduled blocks in that
+     order, so candidates stay similar to the current tail. *)
+  let blocks =
+    List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
+    |> List.stable_sort (fun a b ->
+           Pauli_term.compare_lex ?rank (Block.representative a) (Block.representative b))
+    |> Array.of_list
+  in
+  let m = Array.length blocks in
+  let alive = Array.make m true in
+  let first_alive = ref 0 in
+  let advance () =
+    while !first_alive < m && not alive.(!first_alive) do
+      incr first_alive
+    done
+  in
+  let last_string (b : Block.t) =
+    let terms = Block.terms b in
+    (List.nth terms (List.length terms - 1)).Pauli_term.str
+  in
+  let out = ref [] in
+  let tail = ref None in
+  for _ = 1 to m do
+    let best = ref (-1) and best_ov = ref (-1) in
+    let visited = ref 0 in
+    let i = ref !first_alive in
+    while !i < m && !visited < window do
+      if alive.(!i) then begin
+        incr visited;
+        let ov =
+          match !tail with
+          | None -> 0
+          | Some t ->
+            Pauli_string.overlap t (Block.representative blocks.(!i)).Pauli_term.str
+        in
+        if ov > !best_ov then begin
+          best_ov := ov;
+          best := !i
+        end
+      end;
+      incr i
+    done;
+    let chosen = !best in
+    alive.(chosen) <- false;
+    advance ();
+    tail := Some (last_string blocks.(chosen));
+    out := blocks.(chosen) :: !out
+  done;
+  List.rev_map Layer.of_block !out
+
+let run ?rank ?window prog =
+  Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank ?window prog)

@@ -1,0 +1,22 @@
+(** Travelling-salesperson-style block scheduling (the strategy of Gui et
+    al., "Term grouping and travelling salesperson for digital quantum
+    simulation", which the paper cites as prior lexicographic/grouping
+    work): a greedy nearest-neighbour chain that always appends the
+    remaining block sharing the most Pauli operators with the last
+    scheduled one.
+
+    Compared with GCO's global lexicographic sort, the chain adapts to
+    the actual pairwise overlaps; compared with DO, it ignores depth.
+    Provided as an alternative technology-independent pass and used in
+    the ablation study. *)
+
+open Ph_pauli_ir
+
+(** [schedule p] — singleton layers in greedy max-overlap chain order.
+    [window] bounds the candidate scan per step (default 512), keeping
+    the pass near-linear on the largest kernels. *)
+val schedule :
+  ?rank:(Ph_pauli.Pauli.t -> int) -> ?window:int -> Program.t -> Layer.t list
+
+val run :
+  ?rank:(Ph_pauli.Pauli.t -> int) -> ?window:int -> Program.t -> Program.t

@@ -1,0 +1,1 @@
+lib/sim/noisy_sim.ml: Array Circuit Cplx Gate List Noise_model Ph_gatelevel Ph_hardware Ph_linalg Random Seq Statevector

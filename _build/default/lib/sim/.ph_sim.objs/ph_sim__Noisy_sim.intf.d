@@ -1,0 +1,1 @@
+lib/sim/noisy_sim.mli: Circuit Noise_model Ph_gatelevel Ph_hardware

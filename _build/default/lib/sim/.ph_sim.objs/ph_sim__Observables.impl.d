@@ -1,0 +1,1 @@
+lib/sim/observables.ml: Cplx List Pauli Pauli_string Pauli_term Ph_linalg Ph_pauli Ph_pauli_ir Statevector

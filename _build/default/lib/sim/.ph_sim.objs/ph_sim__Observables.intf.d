@@ -1,0 +1,1 @@
+lib/sim/observables.mli: Ph_linalg Ph_pauli Ph_pauli_ir Statevector

@@ -1,0 +1,1 @@
+lib/sim/qaoa_run.ml: Array Circuit Float Gate Graphs Layout List Noise_model Noisy_sim Ph_benchmarks Ph_gatelevel Ph_hardware

@@ -1,0 +1,1 @@
+lib/sim/qaoa_run.mli: Circuit Layout Noise_model Ph_benchmarks Ph_gatelevel Ph_hardware

@@ -1,0 +1,76 @@
+open Ph_linalg
+open Ph_gatelevel
+open Ph_hardware
+
+let pauli_mats : Cplx.t array array =
+  let c x : Cplx.t = { re = x; im = 0. } in
+  let ci x : Cplx.t = { re = 0.; im = x } in
+  [|
+    [| c 0.; c 1.; c 1.; c 0. |] (* X *);
+    [| c 0.; ci (-1.); ci 1.; c 0. |] (* Y *);
+    [| c 1.; c 0.; c 0.; c (-1.) |] (* Z *);
+  |]
+
+let inject_error rand sv qubits =
+  (* Uniform non-identity Pauli on the gate's qubits. *)
+  match qubits with
+  | [ q ] ->
+    Statevector.apply1 sv q pauli_mats.(Random.State.int rand 3)
+  | [ a; b ] ->
+    let k = 1 + Random.State.int rand 15 in
+    let pa = k mod 4 and pb = k / 4 in
+    if pa > 0 then Statevector.apply1 sv a pauli_mats.(pa - 1);
+    if pb > 0 then Statevector.apply1 sv b pauli_mats.(pb - 1)
+  | _ -> ()
+
+let run_trajectory noise rand circuit =
+  let sv = Statevector.zero (Circuit.n_qubits circuit) in
+  Array.iter
+    (fun g ->
+      (match g with
+      | Gate.Cnot (a, b) -> Statevector.apply_cnot sv ~control:a ~target:b
+      | Gate.Swap (a, b) -> Statevector.apply_swap sv a b
+      | g -> Statevector.apply1 sv (List.hd (Gate.qubits g)) (Gate.matrix1 g));
+      match rand with
+      | None -> ()
+      | Some rand ->
+        if Random.State.float rand 1.0 < Noise_model.gate_error noise g then
+          inject_error rand sv (Gate.qubits g))
+    (Circuit.gates circuit);
+  sv
+
+let output_distribution ~noise ~trajectories ~seed circuit =
+  if Circuit.n_qubits circuit > 16 then
+    invalid_arg "Noisy_sim.output_distribution: too many qubits";
+  let d = 1 lsl Circuit.n_qubits circuit in
+  let acc = Array.make d 0. in
+  let add weight sv =
+    for k = 0 to d - 1 do
+      acc.(k) <- acc.(k) +. (weight *. Statevector.prob sv k)
+    done
+  in
+  if trajectories <= 0 then add 1. (run_trajectory noise None circuit)
+  else begin
+    let rand = Random.State.make [| seed |] in
+    let w = 1. /. float_of_int trajectories in
+    for _ = 1 to trajectories do
+      add w (run_trajectory noise (Some rand) circuit)
+    done
+  end;
+  acc
+
+let success_probability dist ~measure ~readout ~is_success =
+  let extract k =
+    List.fold_left
+      (fun (bit, acc) p -> bit + 1, acc lor (((k lsr p) land 1) lsl bit))
+      (0, 0) measure
+    |> snd
+  in
+  let p_raw =
+    Array.to_seq dist
+    |> Seq.fold_lefti
+         (fun acc k p -> if is_success (extract k) then acc +. p else acc)
+         0.
+  in
+  let ro = List.fold_left (fun acc q -> acc *. (1. -. readout q)) 1. measure in
+  p_raw *. ro

@@ -1,0 +1,30 @@
+(** Monte-Carlo Pauli-noise statevector simulation — the stand-in for the
+    paper's real-device runs (Section 6.4).
+
+    Each trajectory inserts, after every gate and with the gate's
+    calibrated error probability, a uniformly random non-identity Pauli
+    on the gate's qubits (depolarizing twirl), then the exact output
+    distribution of that trajectory is accumulated.  Averaging
+    distributions over trajectories converges much faster than per-shot
+    sampling. *)
+
+open Ph_gatelevel
+open Ph_hardware
+
+(** [output_distribution ~noise ~trajectories ~seed c] — the averaged
+    Born distribution over all [2^n] basis states.
+    [trajectories = 0] gives the single noiseless trajectory. *)
+val output_distribution :
+  noise:Noise_model.t -> trajectories:int -> seed:int -> Circuit.t -> float array
+
+(** [success_probability dist ~measure ~readout ~is_success] — total
+    probability of basis states whose logical bits (extracted from the
+    physical positions [measure], index 0 = logical bit 0) satisfy
+    [is_success], degraded by per-qubit readout errors (correct-readout
+    factor on the measured qubits). *)
+val success_probability :
+  float array ->
+  measure:int list ->
+  readout:(int -> float) ->
+  is_success:(int -> bool) ->
+  float

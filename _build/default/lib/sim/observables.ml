@@ -1,0 +1,31 @@
+open Ph_pauli
+open Ph_linalg
+
+let pauli_mat (op : Pauli.t) : Cplx.t array =
+  let c x : Cplx.t = { re = x; im = 0. } in
+  let ci x : Cplx.t = { re = 0.; im = x } in
+  match op with
+  | Pauli.I -> [| c 1.; c 0.; c 0.; c 1. |]
+  | Pauli.X -> [| c 0.; c 1.; c 1.; c 0. |]
+  | Pauli.Y -> [| c 0.; ci (-1.); ci 1.; c 0. |]
+  | Pauli.Z -> [| c 1.; c 0.; c 0.; c (-1.) |]
+
+let pauli_expectation sv p =
+  if Pauli_string.n_qubits p <> Statevector.n_qubits sv then
+    invalid_arg "Observables.pauli_expectation: size mismatch";
+  let phi = Statevector.copy sv in
+  List.iter
+    (fun q -> Statevector.apply1 phi q (pauli_mat (Pauli_string.get p q)))
+    (Pauli_string.support p);
+  (Statevector.inner sv phi).Cplx.re
+
+let energy prog sv =
+  List.fold_left
+    (fun acc (b : Ph_pauli_ir.Block.t) ->
+      let param = (Ph_pauli_ir.Block.param b).value in
+      List.fold_left
+        (fun acc (t : Pauli_term.t) ->
+          acc +. (param *. t.coeff *. pauli_expectation sv t.str))
+        acc
+        (Ph_pauli_ir.Block.terms b))
+    0. (Ph_pauli_ir.Program.blocks prog)

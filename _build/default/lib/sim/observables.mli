@@ -1,0 +1,11 @@
+(** Expectation values of Pauli-IR Hamiltonians on statevectors —
+    the read-out side of VQE/QAOA loops. *)
+
+open Ph_linalg
+
+(** [pauli_expectation sv p] = ⟨ψ|P|ψ⟩ (always real; O(2^n) per term). *)
+val pauli_expectation : Statevector.t -> Ph_pauli.Pauli_string.t -> float
+
+(** [energy prog sv] = ⟨ψ|⟦prog⟧|ψ⟩ under the IR's denotation
+    [Σ_blocks parameter · Σ_terms weight · P]. *)
+val energy : Ph_pauli_ir.Program.t -> Statevector.t -> float

@@ -1,0 +1,98 @@
+open Ph_gatelevel
+open Ph_hardware
+open Ph_benchmarks
+
+type compiled_kernel = {
+  phase : Circuit.t;
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+let full_circuit kernel ~beta =
+  let n_logical = Layout.n_logical kernel.initial_layout in
+  let b = Circuit.Builder.create (Circuit.n_qubits kernel.phase) in
+  for q = 0 to n_logical - 1 do
+    Circuit.Builder.add b (Gate.H (Layout.phys kernel.initial_layout q))
+  done;
+  Circuit.Builder.append b kernel.phase;
+  for q = 0 to n_logical - 1 do
+    Circuit.Builder.add b (Gate.Rx (2. *. beta, Layout.phys kernel.final_layout q))
+  done;
+  Circuit.Builder.to_circuit b
+
+let measure_qubits kernel =
+  List.init (Layout.n_logical kernel.final_layout) (Layout.phys kernel.final_layout)
+
+let expected_cut g dist =
+  let acc = ref 0. in
+  Array.iteri (fun k p -> acc := !acc +. (p *. Graphs.cut_value g k)) dist;
+  !acc
+
+let optimal_fraction g dist =
+  let best = Graphs.max_cut g in
+  let acc = ref 0. in
+  Array.iteri
+    (fun k p -> if Graphs.cut_value g k >= best -. 1e-9 then acc := !acc +. p)
+    dist;
+  !acc
+
+(* Logical depth-1 ansatz, used only for parameter search. *)
+let logical_circuit g ~gamma ~beta =
+  let n = g.Graphs.n in
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b (Gate.H q)
+  done;
+  List.iter
+    (fun (u, v, w) ->
+      Circuit.Builder.add_list b
+        [ Gate.Cnot (u, v); Gate.Rz (2. *. w *. gamma, v); Gate.Cnot (u, v) ])
+    g.Graphs.edges;
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b (Gate.Rx (2. *. beta, q))
+  done;
+  Circuit.Builder.to_circuit b
+
+let optimize_parameters ?(grid = 16) g =
+  let noiseless = Noise_model.uniform ~cnot:0. ~single:0. ~readout:0. () in
+  let best = ref (0., (0., 0.)) in
+  for i = 0 to grid - 1 do
+    for j = 0 to grid - 1 do
+      let gamma = Float.pi *. (float_of_int i +. 0.5) /. float_of_int grid in
+      let beta = Float.pi /. 2. *. (float_of_int j +. 0.5) /. float_of_int grid in
+      let dist =
+        Noisy_sim.output_distribution ~noise:noiseless ~trajectories:0 ~seed:0
+          (logical_circuit g ~gamma ~beta)
+      in
+      let v = expected_cut g dist in
+      if v > fst !best then best := v, (gamma, beta)
+    done
+  done;
+  snd !best
+
+type outcome = { esp : float; success : float }
+
+let evaluate ~noise ~trajectories ~seed g kernel ~beta =
+  let circuit = full_circuit kernel ~beta in
+  let esp = Noise_model.esp noise circuit in
+  (* Simulate only the wires the circuit touches; error rates stay keyed
+     to the original physical qubits. *)
+  let compacted, f = Circuit.compact circuit in
+  let old_of = Array.of_list (Circuit.used_qubits circuit) in
+  let noise' =
+    {
+      Noise_model.cnot_error =
+        (fun a b -> noise.Noise_model.cnot_error old_of.(a) old_of.(b));
+      single_error = (fun q -> noise.Noise_model.single_error old_of.(q));
+      readout_error = (fun q -> noise.Noise_model.readout_error old_of.(q));
+    }
+  in
+  let dist = Noisy_sim.output_distribution ~noise:noise' ~trajectories ~seed compacted in
+  let best = Graphs.max_cut g in
+  let success =
+    Noisy_sim.success_probability dist
+      ~measure:(List.map f (measure_qubits kernel))
+      ~readout:noise'.Noise_model.readout_error
+      ~is_success:(fun bits -> Graphs.cut_value g bits >= best -. 1e-9)
+  in
+  { esp; success }

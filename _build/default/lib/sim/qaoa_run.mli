@@ -1,0 +1,47 @@
+(** End-to-end QAOA MaxCut evaluation (the Figure 11 study): build
+    depth-1 QAOA circuits around a compiled phase kernel, optimize the
+    (γ, β) parameters noiselessly, and measure ESP and noisy-simulation
+    success probability. *)
+
+open Ph_gatelevel
+open Ph_hardware
+
+type compiled_kernel = {
+  phase : Circuit.t;  (** physical-qubit phase-separation circuit *)
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+(** [full_circuit kernel ~beta] — Hadamards on the initial data
+    positions, the phase kernel, and the [Rx(2β)] mixer on the final
+    positions. *)
+val full_circuit : compiled_kernel -> beta:float -> Circuit.t
+
+(** Physical positions to measure (logical order), per the final
+    layout. *)
+val measure_qubits : compiled_kernel -> int list
+
+(** [optimize_parameters g] — noiseless logical-level grid search
+    maximizing the expected cut of the depth-1 ansatz; returns
+    [(gamma, beta)].  [grid] is the points per axis (default 16). *)
+val optimize_parameters : ?grid:int -> Ph_benchmarks.Graphs.t -> float * float
+
+(** Expected cut value of a logical output distribution. *)
+val expected_cut : Ph_benchmarks.Graphs.t -> float array -> float
+
+(** Fraction of the distribution on maximum cuts. *)
+val optimal_fraction : Ph_benchmarks.Graphs.t -> float array -> float
+
+type outcome = { esp : float; success : float }
+
+(** [evaluate ~noise ~trajectories ~seed g kernel ~beta] — ESP of the
+    full physical circuit and noisy success probability of measuring an
+    optimal cut. *)
+val evaluate :
+  noise:Noise_model.t ->
+  trajectories:int ->
+  seed:int ->
+  Ph_benchmarks.Graphs.t ->
+  compiled_kernel ->
+  beta:float ->
+  outcome

@@ -1,0 +1,1 @@
+lib/synthesis/controlled.ml: Array Circuit Gate List Ph_gatelevel

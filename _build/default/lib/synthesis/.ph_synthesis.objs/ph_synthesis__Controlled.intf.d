@@ -1,0 +1,1 @@
+lib/synthesis/controlled.mli: Circuit Ph_gatelevel

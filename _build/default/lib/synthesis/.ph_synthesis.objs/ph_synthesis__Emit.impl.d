@@ -1,0 +1,1 @@
+lib/synthesis/emit.ml: Block Circuit Float Gate List Pauli Pauli_string Ph_gatelevel Ph_pauli Ph_pauli_ir Stdlib

@@ -1,0 +1,1 @@
+lib/synthesis/emit.mli: Block Circuit Gate Pauli Pauli_string Ph_gatelevel Ph_pauli Ph_pauli_ir

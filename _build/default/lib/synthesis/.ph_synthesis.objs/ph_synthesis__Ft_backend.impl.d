@@ -1,0 +1,1 @@
+lib/synthesis/ft_backend.ml: Array Block Circuit Emit Layer List Pauli Pauli_string Pauli_term Ph_gatelevel Ph_pauli Ph_pauli_ir Ph_schedule Stdlib

@@ -1,0 +1,1 @@
+lib/synthesis/ft_backend.mli: Emit Layer Ph_schedule

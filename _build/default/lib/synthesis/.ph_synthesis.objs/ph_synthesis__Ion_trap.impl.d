@@ -1,0 +1,1 @@
+lib/synthesis/ion_trap.ml: Array Circuit Emit Float Ft_backend Gate Peephole Ph_gatelevel

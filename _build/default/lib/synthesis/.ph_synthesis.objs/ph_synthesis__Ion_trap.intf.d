@@ -1,0 +1,1 @@
+lib/synthesis/ion_trap.mli: Emit Layer Ph_gatelevel Ph_schedule

@@ -1,0 +1,1 @@
+lib/synthesis/naive.ml: Block Circuit Emit List Pauli_string Pauli_term Ph_gatelevel Ph_pauli Ph_pauli_ir Program

@@ -1,0 +1,1 @@
+lib/synthesis/naive.mli: Emit Ph_pauli_ir Program

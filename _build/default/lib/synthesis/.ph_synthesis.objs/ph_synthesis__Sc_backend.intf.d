@@ -1,0 +1,1 @@
+lib/synthesis/sc_backend.mli: Circuit Coupling Layer Layout Noise_model Ph_gatelevel Ph_hardware Ph_pauli Ph_schedule

@@ -1,0 +1,31 @@
+open Ph_gatelevel
+
+let of_circuit circuit ~control =
+  if control < 0 || control >= Circuit.n_qubits circuit then
+    invalid_arg "Controlled.of_circuit: control out of range";
+  if List.mem control (Circuit.used_qubits circuit) then
+    invalid_arg "Controlled.of_circuit: control qubit used by the kernel";
+  let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
+  Array.iter
+    (fun g ->
+      match g with
+      | Gate.Rz (theta, t) ->
+        Circuit.Builder.add_list b
+          [
+            Gate.Rz (theta /. 2., t);
+            Gate.Cnot (control, t);
+            Gate.Rz (-.theta /. 2., t);
+            Gate.Cnot (control, t);
+          ]
+      | g -> Circuit.Builder.add b g)
+    (Circuit.gates circuit);
+  Circuit.Builder.to_circuit b
+
+let powers circuit ~control ~k =
+  if k < 0 then invalid_arg "Controlled.powers: negative power";
+  let controlled = of_circuit circuit ~control in
+  let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
+  for _ = 1 to 1 lsl k do
+    Circuit.Builder.append b controlled
+  done;
+  Circuit.Builder.to_circuit b

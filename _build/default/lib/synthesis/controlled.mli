@@ -1,0 +1,20 @@
+(** Controlled simulation kernels.
+
+    The paper's kernel is the (controlled-)[exp(iHt)] operator; the
+    controlled form drives phase estimation.  For a lowered kernel —
+    basis changes, CNOT trees and [Rz] rotations — controlling the whole
+    unitary reduces to controlling each [Rz]: with the control off, every
+    conjugation prefix meets its own mirror and cancels to the identity.
+    Each [Rz(θ, t)] becomes the standard controlled-Rz decomposition
+    [Rz(θ/2, t); CNOT(c, t); Rz(−θ/2, t); CNOT(c, t)]. *)
+
+open Ph_gatelevel
+
+(** [of_circuit c ~control] — the controlled version of a lowered kernel.
+    [control] must not be touched by [c].
+    @raise Invalid_argument if [control] is out of range or used. *)
+val of_circuit : Circuit.t -> control:int -> Circuit.t
+
+(** [powers c ~control ~k] — controlled [c]^(2^k) (the phase-estimation
+    ladder), by repetition. *)
+val powers : Circuit.t -> control:int -> k:int -> Circuit.t

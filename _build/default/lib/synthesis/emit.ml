@@ -1,0 +1,49 @@
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+
+type result = {
+  circuit : Circuit.t;
+  rotations : (Pauli_string.t * float) list;
+}
+
+let angle (param : Block.param) w = 2. *. w *. param.value
+
+let half_pi = Float.pi /. 2.
+
+let basis_in op q =
+  match op with
+  | Pauli.X -> [ Gate.H q ]
+  | Pauli.Y -> [ Gate.Rx (half_pi, q) ]
+  | Pauli.Z | Pauli.I -> []
+
+let basis_out op q =
+  match op with
+  | Pauli.X -> [ Gate.H q ]
+  | Pauli.Y -> [ Gate.Rx (-.half_pi, q) ]
+  | Pauli.Z | Pauli.I -> []
+
+let emit_chain b p ~order ~theta =
+  let support = Pauli_string.support p in
+  if List.sort Stdlib.compare order <> support then
+    invalid_arg "Emit.emit_chain: order must enumerate the support";
+  match order with
+  | [] -> ()
+  | first :: _ ->
+    List.iter (fun q -> Circuit.Builder.add_list b (basis_in (Pauli_string.get p q) q)) order;
+    let rec cnots prev = function
+      | [] -> prev
+      | q :: rest ->
+        Circuit.Builder.add b (Gate.Cnot (prev, q));
+        cnots q rest
+    in
+    let root = cnots first (List.tl order) in
+    Circuit.Builder.add b (Gate.Rz (theta, root));
+    let rec rev_cnots = function
+      | a :: (c :: _ as rest) ->
+        rev_cnots rest;
+        Circuit.Builder.add b (Gate.Cnot (a, c))
+      | [ _ ] | [] -> ()
+    in
+    rev_cnots order;
+    List.iter (fun q -> Circuit.Builder.add_list b (basis_out (Pauli_string.get p q) q)) order

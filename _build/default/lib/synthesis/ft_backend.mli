@@ -1,0 +1,30 @@
+(** Block-wise compilation for the fault-tolerant backend (Algorithm 2).
+
+    Mapping overhead is neglected (all-to-all connectivity after error
+    correction); the objective is maximal gate cancellation.  Scheduled
+    layers are flattened into a string sequence (terms inside a block
+    greedily reordered for most-overlap adjacency), consecutive strings
+    are greedily paired by descending operator overlap — the
+    string-granularity counterpart of the paper's layer pairing — and each
+    pair synthesizes both members with their shared qubits at the leaf end
+    of identical chain prefixes, so that the mirrored CNOT trees and basis
+    changes cancel at the junction.  Unpaired strings adapt their chain to
+    whichever neighbour they share more operators with.
+
+    The emitted circuit is intended to be cleaned by
+    [Ph_gatelevel.Peephole.optimize], which performs the arranged
+    cancellations. *)
+
+open Ph_schedule
+
+(** [synthesize ~n_qubits layers].  [mode] selects the adaptive-synthesis
+    strategy: [`Chain] (default) lets every string extend the longest
+    operator-matching prefix of its left neighbour's CNOT chain while
+    pre-positioning qubits shared with its right neighbour; [`Pair] is
+    the strict greedy pairing reading of Algorithm 2 (alternate junctions
+    only); [`Independent] disables adaptive ordering (ablation). *)
+val synthesize :
+  ?mode:[ `Chain | `Pair | `Independent ] ->
+  n_qubits:int ->
+  Layer.t list ->
+  Emit.result

@@ -1,0 +1,36 @@
+open Ph_gatelevel
+
+let half_pi = Float.pi /. 2.
+
+(* The trailing phase gate is written as S† (≐ Rz(−π/2) up to global
+   phase) so the Pauli-frame verifier sees a Clifford, not a rotation:
+   by convention every Rz in a lowered kernel is a Pauli rotation. *)
+let lower_cnot b c t =
+  Circuit.Builder.add_list b
+    [
+      Gate.Ry (half_pi, c);
+      Gate.Rxx (half_pi, c, t);
+      Gate.Ry (-.half_pi, c);
+      Gate.Rx (-.half_pi, t);
+      Gate.Sdg c;
+    ]
+
+let lower_to_native circuit =
+  let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
+  Array.iter
+    (fun g ->
+      match g with
+      | Gate.Cnot (c, t) -> lower_cnot b c t
+      | Gate.Swap (x, y) ->
+        lower_cnot b x y;
+        lower_cnot b y x;
+        lower_cnot b x y
+      | g -> Circuit.Builder.add b g)
+    (Circuit.gates circuit);
+  Circuit.Builder.to_circuit b
+
+let synthesize ?mode ~n_qubits layers =
+  let r = Ft_backend.synthesize ?mode ~n_qubits layers in
+  let cleaned = Peephole.optimize r.Emit.circuit in
+  let native = lower_to_native cleaned in
+  { r with Emit.circuit = Peephole.optimize native }

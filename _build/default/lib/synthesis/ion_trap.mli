@@ -1,0 +1,29 @@
+(** Trapped-ion backend: the retargetability demonstration of Section 7
+    ("Paulihedral can be extended to other technologies (e.g., ion trap)
+    by adding new passes").
+
+    Ion traps offer all-to-all connectivity — no routing, so the
+    cancellation-oriented FT pass drives synthesis — but their native
+    two-qubit entangler is the Mølmer–Sørensen [Rxx] gate, not CNOT.
+    After FT synthesis and peephole cleanup, every surviving CNOT is
+    lowered to the standard one-MS decomposition
+
+    [CNOT(c,t) ≐ Ry(π/2,c); Rxx(π/2,c,t); Ry(−π/2,c); Rx(−π/2,t); Rz(−π/2,c)]
+
+    (exact up to global phase), and single-qubit rotations are re-merged.
+    The two-qubit entangler count therefore matches the FT backend's CNOT
+    count, which is the cost model ion-trap compilers optimize. *)
+
+open Ph_schedule
+
+(** [lower_to_native c] — replace every [Cnot] by its MS decomposition
+    and every [Swap] by three lowered CNOTs; other gates pass through. *)
+val lower_to_native : Ph_gatelevel.Circuit.t -> Ph_gatelevel.Circuit.t
+
+(** [synthesize ~n_qubits layers] — FT synthesis, peephole, native
+    lowering, then a final single-qubit merge pass. *)
+val synthesize :
+  ?mode:[ `Chain | `Pair | `Independent ] ->
+  n_qubits:int ->
+  Layer.t list ->
+  Emit.result

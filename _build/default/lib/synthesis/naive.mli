@@ -1,0 +1,9 @@
+(** Baseline synthesis: every term is lowered independently with the
+    default ascending-qubit CNOT chain (Figure 2 style), in program
+    order.  This is the "naively converting these benchmarks into gates"
+    configuration of Table 1 and the reference point of the BC-improvement
+    study (Table 4). *)
+
+open Ph_pauli_ir
+
+val synthesize : Program.t -> Emit.result

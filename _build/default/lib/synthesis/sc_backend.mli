@@ -1,0 +1,40 @@
+(** Block-wise compilation for the near-term superconducting backend
+    (Algorithm 3).
+
+    Logical qubits start on the most connected subgraph of the device.
+    For each scheduled layer, the leader (largest) block picks a root from
+    its core qubit list — the core qubit sitting in the largest connected
+    component under the current mapping, minimizing transition overhead —
+    and the block's remaining active qubits are routed to the root's
+    component along lowest-error shortest paths.  A BFS tree embedded in
+    the coupling map then drives string synthesis: every non-root node
+    CNOTs into an active parent or SWAPs towards the root past an inactive
+    one, and the right half mirrors the left, so no per-CNOT routing is
+    ever needed.  Small blocks of the layer are synthesized in parallel
+    when their qubits can be connected without disturbing the leader's
+    tree; otherwise they are deferred and processed at the end in order of
+    cumulative active-qubit distance. *)
+
+open Ph_gatelevel
+open Ph_hardware
+open Ph_schedule
+
+type result = {
+  circuit : Circuit.t;  (** on physical qubits, SWAPs not yet decomposed *)
+  rotations : (Ph_pauli.Pauli_string.t * float) list;
+      (** logical rotation trace, emission order *)
+  initial_layout : Layout.t;
+  final_layout : Layout.t;
+}
+
+(** [synthesize ~coupling ~n_qubits layers].  [noise] guides
+    lowest-error-rate path selection (default: uniform).  [root_policy]
+    ablates root selection: [`Largest_component] (paper) or
+    [`First_core]. *)
+val synthesize :
+  ?noise:Noise_model.t ->
+  ?root_policy:[ `Largest_component | `First_core ] ->
+  coupling:Coupling.t ->
+  n_qubits:int ->
+  Layer.t list ->
+  result

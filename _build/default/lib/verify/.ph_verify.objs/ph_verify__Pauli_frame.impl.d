@@ -1,0 +1,1 @@
+lib/verify/pauli_frame.ml: Array Circuit Float Fun Gate Layout List Pauli Pauli_string Ph_gatelevel Ph_hardware Ph_pauli Printf

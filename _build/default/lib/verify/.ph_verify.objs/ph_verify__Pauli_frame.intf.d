@@ -1,0 +1,1 @@
+lib/verify/pauli_frame.mli: Circuit Pauli_string Ph_gatelevel Ph_hardware Ph_pauli

@@ -1,0 +1,1 @@
+lib/verify/unitary_check.ml: Circuit Cplx Layout List Matrix Ph_gatelevel Ph_hardware Ph_linalg Ph_pauli_ir Semantics Statevector

@@ -1,0 +1,1 @@
+lib/verify/unitary_check.mli: Circuit Layout Matrix Pauli_string Ph_gatelevel Ph_hardware Ph_linalg Ph_pauli

@@ -1,0 +1,55 @@
+(** Scalable circuit verification by Pauli-frame (stabilizer tableau)
+    tracking.
+
+    A lowered kernel is a sequence of Clifford gates and [Rz] rotations.
+    Scanning in application order while maintaining the conjugation
+    [D(P) = C† P C] of the Clifford prefix [C], every [Rz(θ, q)] is
+    extracted as the effective rotation [exp(-iθ'/2 · Q)] with
+    [Q, θ'] = sign-folded [D(Z_q)], yielding the factorization
+
+    [U = C_total · exp(-iθ'_k/2·Q_k) ⋯ exp(-iθ'_1/2·Q_1)]
+
+    (rightmost factor applied first).  Correct compilation means the
+    extracted [(Q_j, θ'_j)] sequence equals the synthesizer's rotation
+    trace and [C_total] is the identity (FT backend) or a qubit
+    permutation consistent with the router's layouts (SC backend).
+    Cost is [O(n)] per gate — practical for thousands of qubits. *)
+
+open Ph_pauli
+open Ph_gatelevel
+
+(** The residual Clifford, as conjugation images of each [Z_q]/[X_q]
+    with sign exponents ([i^k], [k ∈ {0, 2}]). *)
+type residue = {
+  z_images : (Pauli_string.t * int) array;
+  x_images : (Pauli_string.t * int) array;
+}
+
+(** [extract c] scans the circuit.  Only Clifford gates
+    ([H], [S], [S†], [X], [Y], [Z], [CNOT], [SWAP], [Rx(±π/2)]) and
+    arbitrary [Rz] are admitted.
+    @raise Invalid_argument on any other gate. *)
+val extract : Circuit.t -> (Pauli_string.t * float) list * residue
+
+val residue_is_identity : residue -> bool
+
+(** [residue_permutation r] — when the residue is a pure qubit
+    permutation (up to harmless phases on [X] images), the array [perm]
+    with [D(Z_q) = Z_perm(q)]; [None] otherwise. *)
+val residue_permutation : residue -> int array option
+
+(** FT-backend check: extracted rotations equal [trace] exactly and the
+    residue is the identity. *)
+val verify_ft : Circuit.t -> trace:(Pauli_string.t * float) list -> bool
+
+(** SC-backend check: every extracted physical rotation equals the
+    corresponding logical trace entry embedded through [initial] (routing
+    conjugates each rotation back to the initial frame), and the residue
+    is a permutation sending each logical qubit's initial position to its
+    [final] position. *)
+val verify_sc :
+  circuit:Circuit.t ->
+  trace:(Pauli_string.t * float) list ->
+  initial:Ph_hardware.Layout.t ->
+  final:Ph_hardware.Layout.t ->
+  bool

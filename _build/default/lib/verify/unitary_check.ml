@@ -1,0 +1,53 @@
+open Ph_pauli_ir
+open Ph_linalg
+open Ph_gatelevel
+open Ph_hardware
+
+let rotations_unitary ~n_qubits rotations =
+  let d = 1 lsl n_qubits in
+  List.fold_left
+    (fun acc (p, theta) -> Matrix.mul (Semantics.term_unitary p theta) acc)
+    (Matrix.identity d) rotations
+
+let circuit_implements circuit rotations =
+  let n = Circuit.n_qubits circuit in
+  let reference = rotations_unitary ~n_qubits:n rotations in
+  Matrix.equal_up_to_phase (Circuit.unitary circuit) reference
+
+let sc_circuit_implements ~circuit ~rotations ~initial ~final =
+  let n_logical = Layout.n_logical initial in
+  let n_phys = Circuit.n_qubits circuit in
+  if n_phys > 12 then invalid_arg "Unitary_check.sc_circuit_implements: too large";
+  let d_log = 1 lsl n_logical in
+  let reference = rotations_unitary ~n_qubits:n_logical rotations in
+  let embed_index layout k =
+    let idx = ref 0 in
+    for q = 0 to n_logical - 1 do
+      if (k lsr q) land 1 = 1 then idx := !idx lor (1 lsl Layout.phys layout q)
+    done;
+    !idx
+  in
+  (* Mask of final data positions: amplitudes outside must vanish. *)
+  let data_mask =
+    let m = ref 0 in
+    for q = 0 to n_logical - 1 do
+      m := !m lor (1 lsl Layout.phys final q)
+    done;
+    !m
+  in
+  let got = Matrix.create d_log d_log in
+  let exception Leak in
+  try
+    for k = 0 to d_log - 1 do
+      let sv = Statevector.basis n_phys (embed_index initial k) in
+      Circuit.apply circuit sv;
+      for idx = 0 to (1 lsl n_phys) - 1 do
+        let amp = Statevector.amplitude sv idx in
+        if idx land lnot data_mask <> 0 && Cplx.norm amp > 1e-9 then raise Leak
+      done;
+      for j = 0 to d_log - 1 do
+        Matrix.set got j k (Statevector.amplitude sv (embed_index final j))
+      done
+    done;
+    Matrix.equal_up_to_phase got reference
+  with Leak -> false

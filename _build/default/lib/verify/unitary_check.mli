@@ -1,0 +1,30 @@
+(** Dense (small-n) end-to-end verification: does a compiled circuit
+    implement exactly the product of Pauli rotations it claims to?  Used
+    on every backend in the test suite; complements the scalable
+    {!Pauli_frame} check. *)
+
+open Ph_pauli
+open Ph_linalg
+open Ph_gatelevel
+open Ph_hardware
+
+(** Reference unitary [exp(-iθ_k/2·P_k) ⋯ exp(-iθ_1/2·P_1)] (first listed
+    rotation applied first). *)
+val rotations_unitary : n_qubits:int -> (Pauli_string.t * float) list -> Matrix.t
+
+(** FT-style check: the circuit's unitary equals the reference up to
+    global phase.  Circuit qubit count must equal [n_qubits] of the
+    strings. *)
+val circuit_implements : Circuit.t -> (Pauli_string.t * float) list -> bool
+
+(** SC-style check: the physical circuit, fed logical data at
+    [initial] layout positions and |0⟩ ancillas, must produce the
+    reference-evolved logical state at the [final] layout positions with
+    all ancillas back in |0⟩ — up to one global phase across all basis
+    inputs. *)
+val sc_circuit_implements :
+  circuit:Circuit.t ->
+  rotations:(Pauli_string.t * float) list ->
+  initial:Layout.t ->
+  final:Layout.t ->
+  bool

@@ -1,0 +1,1 @@
+test/test_gatelevel.ml: Alcotest Array Circuit Draw Filename Gate List Matrix Peephole Ph_gatelevel Ph_linalg Printf QCheck QCheck_alcotest Qasm String Sys

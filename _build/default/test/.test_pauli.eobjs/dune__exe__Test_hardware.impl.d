@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Array Circuit Coupling Devices Fun Gate Gen Layout List Noise_model Ph_gatelevel Ph_hardware QCheck QCheck_alcotest Stdlib

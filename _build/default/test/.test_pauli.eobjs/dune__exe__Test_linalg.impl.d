@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cplx Float Gen List Matrix Ph_linalg Printf QCheck QCheck_alcotest Statevector

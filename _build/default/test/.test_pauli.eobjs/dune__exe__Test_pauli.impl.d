@@ -1,0 +1,1 @@
+test/test_pauli.ml: Alcotest Fun List Pauli Pauli_string Pauli_term Ph_pauli QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pauli_ir.ml: Alcotest Array Block Cplx List Matrix Parser Pauli Pauli_string Pauli_term Ph_linalg Ph_pauli Ph_pauli_ir Printf Program QCheck QCheck_alcotest Semantics Trotter

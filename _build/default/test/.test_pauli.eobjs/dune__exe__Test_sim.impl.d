@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Circuit Devices Gate Graphs Layout Noise_model Noisy_sim Option Paulihedral Ph_benchmarks Ph_gatelevel Ph_hardware Ph_sim Ph_synthesis Printf Qaoa Qaoa_run

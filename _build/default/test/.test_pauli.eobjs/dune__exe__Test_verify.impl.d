@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Circuit Float Gate Layout List Pauli_frame Pauli_string Ph_gatelevel Ph_hardware Ph_linalg Ph_pauli Ph_verify Unitary_check

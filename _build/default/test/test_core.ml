@@ -1,0 +1,151 @@
+open Paulihedral
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Ph_hardware
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let term s w = Pauli_term.make (Pauli_string.of_string s) w
+
+let sample_program =
+  Program.make 4
+    [
+      Block.make [ term "ZZII" 1.0 ] (Block.fixed 0.3);
+      Block.make [ term "IIZZ" 0.5; term "IIXX" 0.2 ] (Block.fixed 0.3);
+      Block.make [ term "XIIX" 0.7 ] (Block.fixed 0.3);
+    ]
+
+(* --- Report --- *)
+
+let test_report_metrics () =
+  let c = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1); Gate.Swap (0, 1) ] in
+  let m = Report.of_circuit c in
+  check_int "cnot (swap=3)" 4 m.Report.cnot;
+  check_int "single" 1 m.Report.single;
+  check_int "total" 5 m.Report.total
+
+let test_report_helpers () =
+  Alcotest.(check (float 1e-9)) "delta" (-50.) (Report.delta 100 50);
+  check "delta of zero is nan" true (Float.is_nan (Report.delta 0 5));
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Report.geomean [ 1.; 4. ]);
+  let r, dt = Report.timed (fun () -> 42) in
+  check_int "timed result" 42 r;
+  check "time non-negative" true (dt >= 0.)
+
+(* --- Compiler --- *)
+
+let test_compile_ft () =
+  let out = Compiler.compile_ft sample_program in
+  check_int "all rotations" 4 (List.length out.Compiler.rotations);
+  check "no layouts on FT" true (out.Compiler.initial_layout = None);
+  check "verified" true
+    (Ph_verify.Pauli_frame.verify_ft out.Compiler.circuit ~trace:out.Compiler.rotations)
+
+let test_compile_sc () =
+  let out = Compiler.compile_sc ~coupling:(Devices.line 5) sample_program in
+  check "layout present" true (out.Compiler.initial_layout <> None);
+  check "swaps decomposed" true
+    (Array.for_all
+       (function Gate.Swap _ -> false | _ -> true)
+       (Circuit.gates out.Compiler.circuit));
+  check "verified" true
+    (Ph_verify.Pauli_frame.verify_sc ~circuit:out.Compiler.circuit
+       ~trace:out.Compiler.rotations
+       ~initial:(Option.get out.Compiler.initial_layout)
+       ~final:(Option.get out.Compiler.final_layout))
+
+let test_compile_schedules_differ () =
+  let gco = Compiler.compile_ft ~schedule:Config.Gco sample_program in
+  let dord = Compiler.compile_ft ~schedule:Config.Depth_oriented sample_program in
+  let po = Compiler.compile_ft ~schedule:Config.Program_order sample_program in
+  check "all verified" true
+    (List.for_all
+       (fun (o : Compiler.output) ->
+         Ph_verify.Pauli_frame.verify_ft o.circuit ~trace:o.rotations)
+       [ gco; dord; po ])
+
+let test_peephole_toggle () =
+  let on = Compiler.compile (Config.ft ()) sample_program in
+  let off = Compiler.compile { (Config.ft ()) with Config.peephole = false } sample_program in
+  check "peephole never increases gates" true
+    (on.Compiler.metrics.Report.total <= off.Compiler.metrics.Report.total)
+
+(* --- Pipelines --- *)
+
+let all_ft_pipelines =
+  [
+    "ph", Pipelines.ph_ft ?schedule:None;
+    "tk-pairwise", Pipelines.tk_ft ?strategy:None;
+    "tk-sets", Pipelines.tk_ft ~strategy:`Sets;
+    "naive", Pipelines.naive_ft;
+  ]
+
+let test_pipelines_ft_verified () =
+  List.iter
+    (fun (name, pipe) ->
+      let run = pipe sample_program in
+      check (name ^ " verified") true (Pipelines.verified run);
+      check (name ^ " has rotations") true (run.Pipelines.rotations <> []))
+    all_ft_pipelines
+
+let test_pipelines_sc_verified () =
+  let dev = Devices.grid 2 3 in
+  List.iter
+    (fun (name, run) ->
+      check (name ^ " verified") true (Pipelines.verified run))
+    [
+      "ph", Pipelines.ph_sc dev sample_program;
+      "tk", Pipelines.tk_sc dev sample_program;
+      "naive", Pipelines.naive_sc dev sample_program;
+    ]
+
+let test_pipeline_qaoa () =
+  let prog =
+    Program.make 4
+      [
+        Block.make
+          [ term "IIZZ" 1.0; term "ZZII" 1.0; term "ZIIZ" 1.0 ]
+          (Block.symbolic "gamma" 0.4);
+      ]
+  in
+  let run = Pipelines.qaoa_sc (Devices.line 4) prog in
+  check "qaoa pipeline verified" true (Pipelines.verified run);
+  check_int "three rotations" 3 (List.length run.Pipelines.rotations)
+
+let test_pipelines_on_manhattan_uccsd () =
+  let prog = Ph_benchmarks.Uccsd.ansatz ~n_qubits:8 () in
+  let ph = Pipelines.ph_sc Devices.manhattan prog in
+  let naive = Pipelines.naive_sc Devices.manhattan prog in
+  check "ph verified" true (Pipelines.verified ph);
+  check "naive verified" true (Pipelines.verified naive);
+  check
+    (Printf.sprintf "ph beats naive on cnots (%d < %d)" ph.Pipelines.metrics.Report.cnot
+       naive.Pipelines.metrics.Report.cnot)
+    true
+    (ph.Pipelines.metrics.Report.cnot < naive.Pipelines.metrics.Report.cnot)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "metrics" `Quick test_report_metrics;
+          Alcotest.test_case "helpers" `Quick test_report_helpers;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "ft" `Quick test_compile_ft;
+          Alcotest.test_case "sc" `Quick test_compile_sc;
+          Alcotest.test_case "schedules" `Quick test_compile_schedules_differ;
+          Alcotest.test_case "peephole toggle" `Quick test_peephole_toggle;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "ft verified" `Quick test_pipelines_ft_verified;
+          Alcotest.test_case "sc verified" `Quick test_pipelines_sc_verified;
+          Alcotest.test_case "qaoa pipeline" `Quick test_pipeline_qaoa;
+          Alcotest.test_case "uccsd on manhattan" `Quick test_pipelines_on_manhattan_uccsd;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+open Ph_gatelevel
+open Ph_linalg
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Gate --- *)
+
+let test_dagger () =
+  check "H self-inverse" true (Gate.equal (Gate.dagger (Gate.H 0)) (Gate.H 0));
+  check "S dagger" true (Gate.equal (Gate.dagger (Gate.S 1)) (Gate.Sdg 1));
+  check "Rz dagger" true (Gate.equal (Gate.dagger (Gate.Rz (0.5, 2))) (Gate.Rz (-0.5, 2)))
+
+let test_cancels () =
+  check "cnot cancels itself" true (Gate.cancels (Gate.Cnot (0, 1)) (Gate.Cnot (0, 1)));
+  check "cnot reversed doesn't" false (Gate.cancels (Gate.Cnot (0, 1)) (Gate.Cnot (1, 0)));
+  check "swap either order" true (Gate.cancels (Gate.Swap (0, 1)) (Gate.Swap (1, 0)));
+  check "rz opposite angles" true (Gate.cancels (Gate.Rz (0.3, 0)) (Gate.Rz (-0.3, 0)))
+
+let test_commutes () =
+  check "disjoint commute" true (Gate.commutes (Gate.H 0) (Gate.X 3));
+  check "rz with cnot control" true (Gate.commutes (Gate.Rz (0.1, 0)) (Gate.Cnot (0, 1)));
+  check "rz with cnot target" false (Gate.commutes (Gate.Rz (0.1, 1)) (Gate.Cnot (0, 1)));
+  check "rx with cnot target" true (Gate.commutes (Gate.Rx (0.1, 1)) (Gate.Cnot (0, 1)));
+  check "cnots sharing control" true (Gate.commutes (Gate.Cnot (0, 1)) (Gate.Cnot (0, 2)));
+  check "cnots sharing target" true (Gate.commutes (Gate.Cnot (0, 2)) (Gate.Cnot (1, 2)));
+  check "cnots chained don't" false (Gate.commutes (Gate.Cnot (0, 1)) (Gate.Cnot (1, 2)))
+
+(* Dense checks: commuting/cancelling claims must hold as matrices. *)
+let gate_unitary n g = Circuit.unitary (Circuit.of_gates n [ g ])
+
+let all_gates_on_2q =
+  [
+    Gate.H 0; Gate.X 0; Gate.Y 1; Gate.Z 0; Gate.S 1; Gate.Sdg 0;
+    Gate.Rz (0.7, 0); Gate.Rx (0.7, 1); Gate.Ry (0.7, 0);
+    Gate.Cnot (0, 1); Gate.Cnot (1, 0); Gate.Swap (0, 1);
+  ]
+
+let test_commutes_sound () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun h ->
+          if Gate.commutes g h then begin
+            let ug = gate_unitary 2 g and uh = gate_unitary 2 h in
+            check
+              (Printf.sprintf "%s commutes with %s" (Gate.to_string g) (Gate.to_string h))
+              true
+              (Matrix.equal (Matrix.mul ug uh) (Matrix.mul uh ug))
+          end)
+        all_gates_on_2q)
+    all_gates_on_2q
+
+let test_cancels_sound () =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun h ->
+          if Gate.cancels g h then
+            check
+              (Printf.sprintf "%s cancels %s" (Gate.to_string g) (Gate.to_string h))
+              true
+              (Matrix.equal_up_to_phase
+                 (Matrix.mul (gate_unitary 2 h) (gate_unitary 2 g))
+                 (Matrix.identity 4)))
+        all_gates_on_2q)
+    all_gates_on_2q
+
+let test_dagger_sound () =
+  List.iter
+    (fun g ->
+      let u = gate_unitary 2 g in
+      let ud = gate_unitary 2 (Gate.dagger g) in
+      check
+        (Printf.sprintf "dagger of %s" (Gate.to_string g))
+        true
+        (Matrix.equal_up_to_phase (Matrix.mul ud u) (Matrix.identity 4)))
+    all_gates_on_2q
+
+(* --- Circuit --- *)
+
+let sample_circuit =
+  Circuit.of_gates 3
+    [ Gate.H 0; Gate.Cnot (0, 1); Gate.Swap (1, 2); Gate.Rz (0.5, 2); Gate.X 0 ]
+
+let test_counts () =
+  check_int "cnot count (swap=3)" 4 (Circuit.cnot_count sample_circuit);
+  check_int "single count" 3 (Circuit.single_qubit_count sample_circuit);
+  check_int "total" 7 (Circuit.total_count sample_circuit)
+
+let test_depth () =
+  (* H(0) level1; CNOT(0,1) level2; SWAP(1,2) levels 3-5; Rz(2) level6;
+     X(0) level3 -> depth 6 *)
+  check_int "depth" 6 (Circuit.depth sample_circuit);
+  check_int "parallel gates share depth" 1
+    (Circuit.depth (Circuit.of_gates 3 [ Gate.H 0; Gate.H 1; Gate.H 2 ]))
+
+let test_decompose_swaps () =
+  let c = Circuit.decompose_swaps sample_circuit in
+  check "no swaps left" true
+    (Array.for_all (function Gate.Swap _ -> false | _ -> true) (Circuit.gates c));
+  check_int "same cnot count" (Circuit.cnot_count sample_circuit) (Circuit.cnot_count c);
+  check "same unitary" true
+    (Matrix.equal (Circuit.unitary c) (Circuit.unitary sample_circuit))
+
+let test_dagger_circuit () =
+  let u = Circuit.unitary sample_circuit in
+  let ud = Circuit.unitary (Circuit.dagger sample_circuit) in
+  check "dagger inverts" true
+    (Matrix.equal_up_to_phase (Matrix.mul ud u) (Matrix.identity 8))
+
+let test_remap () =
+  let c = Circuit.remap (fun q -> 2 - q) sample_circuit in
+  check "remapped gate" true (Gate.equal (Circuit.gates c).(0) (Gate.H 2))
+
+let test_builder () =
+  let b = Circuit.Builder.create 2 in
+  for _ = 1 to 100 do
+    Circuit.Builder.add b (Gate.H 0)
+  done;
+  check_int "builder length" 100 (Circuit.length (Circuit.Builder.to_circuit b))
+
+let test_layers () =
+  let ls = Circuit.layers (Circuit.of_gates 3 [ Gate.H 0; Gate.H 1; Gate.Cnot (0, 1) ]) in
+  check_int "two layers" 2 (List.length ls);
+  check_int "first layer has 2 gates" 2 (List.length (List.hd ls))
+
+let test_compact () =
+  let wide = Circuit.of_gates 6 [ Gate.H 1; Gate.Cnot (1, 4); Gate.Rz (0.2, 4) ] in
+  let compacted, f = Circuit.compact wide in
+  check_int "two wires" 2 (Circuit.n_qubits compacted);
+  check_int "q1 -> 0" 0 (f 1);
+  check_int "q4 -> 1" 1 (f 4);
+  check "same gates up to relabel" true
+    (List.for_all2 Gate.equal (Circuit.to_list compacted)
+       [ Gate.H 0; Gate.Cnot (0, 1); Gate.Rz (0.2, 1) ]);
+  check "unused qubit rejected" true
+    (match f 0 with exception Invalid_argument _ -> true | _ -> false)
+
+(* --- Peephole --- *)
+
+let test_peephole_pairs () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.H 0; Gate.H 0; Gate.Cnot (0, 1); Gate.Cnot (0, 1); Gate.S 1; Gate.Sdg 1 ]
+  in
+  check_int "all cancelled" 0 (Circuit.length (Peephole.optimize c))
+
+let test_peephole_commuting () =
+  (* Rz on the control commutes through the CNOT: the two H's cancel. *)
+  let c = Circuit.of_gates 2 [ Gate.Rz (0.1, 0); Gate.Cnot (0, 1); Gate.Rz (-0.1, 0) ] in
+  check_int "rz through cnot" 1 (Circuit.length (Peephole.optimize c));
+  let blocked = Circuit.of_gates 2 [ Gate.Rz (0.1, 1); Gate.Cnot (0, 1); Gate.Rz (-0.1, 1) ] in
+  check_int "rz blocked by target" 3 (Circuit.length (Peephole.optimize blocked))
+
+let test_peephole_merge () =
+  let c = Circuit.of_gates 1 [ Gate.Rz (0.1, 0); Gate.Rz (0.2, 0) ] in
+  let o = Peephole.optimize c in
+  check_int "merged" 1 (Circuit.length o);
+  (match (Circuit.gates o).(0) with
+  | Gate.Rz (t, 0) -> Alcotest.(check (float 1e-12)) "angle sum" 0.3 t
+  | g -> Alcotest.failf "unexpected gate %s" (Gate.to_string g));
+  let z = Circuit.of_gates 1 [ Gate.Rx (0.1, 0); Gate.Rx (-0.1, 0) ] in
+  check_int "zero rotation removed" 0 (Circuit.length (Peephole.optimize z))
+
+let prop_peephole_preserves_unitary =
+  let gen_gate =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun q -> Gate.H q) (int_bound 2);
+          map (fun q -> Gate.S q) (int_bound 2);
+          map (fun q -> Gate.X q) (int_bound 2);
+          map2 (fun t q -> Gate.Rz (t, q)) (float_bound_inclusive 3.) (int_bound 2);
+          map2
+            (fun a b -> Gate.Cnot (a, if b = a then (a + 1) mod 3 else b))
+            (int_bound 2) (int_bound 2);
+          map2
+            (fun a b -> Gate.Swap (a, if b = a then (a + 1) mod 3 else b))
+            (int_bound 2) (int_bound 2);
+        ])
+  in
+  QCheck.Test.make ~name:"peephole preserves the unitary" ~count:60
+    (QCheck.make
+       ~print:(fun gs -> String.concat "; " (List.map Gate.to_string gs))
+       QCheck.Gen.(list_size (int_bound 30) gen_gate))
+    (fun gates ->
+      let c = Circuit.of_gates 3 gates in
+      let o = Peephole.optimize c in
+      Circuit.length o <= Circuit.length c
+      && Matrix.equal_up_to_phase (Circuit.unitary o) (Circuit.unitary c))
+
+(* --- QASM export --- *)
+
+let test_qasm_export () =
+  let text = Qasm.export sample_circuit in
+  check "header" true
+    (String.length text > 0
+    && String.sub text 0 13 = "OPENQASM 2.0;");
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle -> check (needle ^ " present") true (contains needle))
+    [ "qreg q[3];"; "h q[0];"; "cx q[0],q[1];"; "swap q[1],q[2];"; "x q[0];" ]
+
+let test_qasm_channel_matches_string () =
+  let path = Filename.temp_file "ph" ".qasm" in
+  let oc = open_out path in
+  Qasm.export_to_channel oc sample_circuit;
+  close_out oc;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let from_file = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "same output" (Qasm.export sample_circuit) from_file
+
+let test_qasm_roundtrip () =
+  let parsed = Qasm.parse (Qasm.export sample_circuit) in
+  Alcotest.(check int) "qubits" (Circuit.n_qubits sample_circuit) (Circuit.n_qubits parsed);
+  check "same gates" true
+    (List.for_all2 Gate.equal (Circuit.to_list sample_circuit) (Circuit.to_list parsed))
+
+let test_qasm_parse_tolerant () =
+  let src = {|OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[2];
+creg c[2];
+h q[0];
+barrier q[0], q[1];
+cx q[0],q[1];
+rz(-0.25) q[1];
+measure q[0] -> c[0];
+|} in
+  let c = Qasm.parse src in
+  Alcotest.(check int) "3 gates (barrier/measure ignored)" 3 (Circuit.length c);
+  check "rz angle" true
+    (Gate.equal (Circuit.gates c).(2) (Gate.Rz (-0.25, 1)))
+
+let test_qasm_parse_errors () =
+  let fails s = match Qasm.parse s with exception Qasm.Parse_error _ -> true | _ -> false in
+  check "unknown gate" true (fails "qreg q[2]; ccx q[0],q[1];");
+  check "missing qreg" true (fails "h q[0];");
+  check "out of range" true (fails "qreg q[1]; h q[5];");
+  check "bad angle" true (fails "qreg q[1]; rz(pi/2) q[0];")
+
+let prop_qasm_roundtrip =
+  let gen_gate =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun q -> Gate.H q) (int_bound 3);
+          map (fun q -> Gate.Sdg q) (int_bound 3);
+          map2 (fun t q -> Gate.Rz (t, q)) (float_bound_inclusive 3.) (int_bound 3);
+          map2 (fun t q -> Gate.Ry (t, q)) (float_bound_inclusive 3.) (int_bound 3);
+          map2
+            (fun a b -> Gate.Cnot (a, if b = a then (a + 1) mod 4 else b))
+            (int_bound 3) (int_bound 3);
+          map2
+            (fun a b -> Gate.Swap (a, if b = a then (a + 1) mod 4 else b))
+            (int_bound 3) (int_bound 3);
+        ])
+  in
+  QCheck.Test.make ~name:"qasm export/parse roundtrip" ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_bound 25) gen_gate))
+    (fun gates ->
+      let c = Circuit.of_gates 4 gates in
+      let parsed = Qasm.parse (Qasm.export c) in
+      Circuit.length parsed = Circuit.length c
+      && List.for_all2 Gate.equal (Circuit.to_list c) (Circuit.to_list parsed))
+
+(* --- Draw --- *)
+
+let test_draw () =
+  let text = Draw.render sample_circuit in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check int) "2n-1 rows + trailing" (2 * 3) (List.length lines);
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter (fun s -> check (s ^ " drawn") true (contains s))
+    [ "q0"; "q2"; "H"; "o"; "rz(0.5)"; "x" ]
+
+let test_draw_truncation () =
+  let b = Circuit.Builder.create 1 in
+  for _ = 1 to 100 do Circuit.Builder.add b (Gate.H 0) done;
+  let text = Draw.render ~max_columns:5 (Circuit.Builder.to_circuit b) in
+  check "ellipsis" true
+    (let n = String.length text in n > 3 &&
+     (let rec go i = i + 3 <= n && (String.sub text i 3 = "..." || go (i+1)) in go 0))
+
+let () =
+  Alcotest.run "gatelevel"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "dagger" `Quick test_dagger;
+          Alcotest.test_case "cancels" `Quick test_cancels;
+          Alcotest.test_case "commutes" `Quick test_commutes;
+          Alcotest.test_case "commutes is sound (dense)" `Quick test_commutes_sound;
+          Alcotest.test_case "cancels is sound (dense)" `Quick test_cancels_sound;
+          Alcotest.test_case "dagger is sound (dense)" `Quick test_dagger_sound;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "gate counts" `Quick test_counts;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "swap decomposition" `Quick test_decompose_swaps;
+          Alcotest.test_case "dagger" `Quick test_dagger_circuit;
+          Alcotest.test_case "remap" `Quick test_remap;
+          Alcotest.test_case "builder growth" `Quick test_builder;
+          Alcotest.test_case "layers" `Quick test_layers;
+          Alcotest.test_case "qasm export" `Quick test_qasm_export;
+          Alcotest.test_case "qasm channel" `Quick test_qasm_channel_matches_string;
+          Alcotest.test_case "qasm roundtrip" `Quick test_qasm_roundtrip;
+          Alcotest.test_case "qasm tolerant parse" `Quick test_qasm_parse_tolerant;
+          Alcotest.test_case "qasm parse errors" `Quick test_qasm_parse_errors;
+          qcheck prop_qasm_roundtrip;
+          Alcotest.test_case "ascii drawing" `Quick test_draw;
+          Alcotest.test_case "drawing truncation" `Quick test_draw_truncation;
+          Alcotest.test_case "compact" `Quick test_compact;
+        ] );
+      ( "peephole",
+        [
+          Alcotest.test_case "inverse pairs" `Quick test_peephole_pairs;
+          Alcotest.test_case "commutation-aware" `Quick test_peephole_commuting;
+          Alcotest.test_case "rotation merging" `Quick test_peephole_merge;
+          qcheck prop_peephole_preserves_unitary;
+        ] );
+    ]

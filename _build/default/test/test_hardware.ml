@@ -1,0 +1,217 @@
+open Ph_hardware
+open Ph_gatelevel
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- Coupling --- *)
+
+let test_create_dedup () =
+  let g = Coupling.create 3 [ 0, 1; 1, 0; 1, 2 ] in
+  check_int "edges deduplicated" 2 (Coupling.n_edges g);
+  check "adjacent" true (Coupling.adjacent g 0 1);
+  check "symmetric" true (Coupling.adjacent g 1 0);
+  check "not adjacent" false (Coupling.adjacent g 0 2)
+
+let test_create_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Coupling.create: self-loop")
+    (fun () -> ignore (Coupling.create 2 [ 1, 1 ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Coupling.create: edge (0,5)")
+    (fun () -> ignore (Coupling.create 2 [ 0, 5 ]))
+
+let test_distance_path () =
+  let g = Devices.line 5 in
+  check_int "line distance" 4 (Coupling.distance g 0 4);
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3; 4 ] (Coupling.shortest_path g 0 4);
+  let disconnected = Coupling.create 4 [ 0, 1; 2, 3 ] in
+  check "disconnected distance" true (Coupling.distance disconnected 0 3 = max_int);
+  check "connectivity check" false (Coupling.is_connected disconnected);
+  check "line connected" true (Coupling.is_connected g)
+
+let test_weighted_path () =
+  (* Square 0-1-3, 0-2-3; make 0-1 expensive: path goes through 2. *)
+  let g = Coupling.create 4 [ 0, 1; 1, 3; 0, 2; 2, 3 ] in
+  let cost u v = if (u, v) = (0, 1) || (u, v) = (1, 0) then 10. else 1. in
+  Alcotest.(check (list int)) "weighted path avoids 0-1" [ 0; 2; 3 ]
+    (Coupling.shortest_path_weighted g ~cost 0 3)
+
+let test_subset_components () =
+  let g = Devices.line 6 in
+  let comps = Coupling.subset_components g [ 0; 1; 3; 4; 5 ] in
+  check_int "two components" 2 (List.length comps);
+  Alcotest.(check (list int)) "component of 4" [ 3; 4; 5 ]
+    (Coupling.component_of g [ 0; 1; 3; 4; 5 ] 4)
+
+let test_densest_subgraph () =
+  let g = Devices.grid 3 3 in
+  let nodes = Coupling.densest_subgraph g 4 in
+  check_int "4 nodes" 4 (List.length nodes);
+  (* Chosen nodes form a connected induced subgraph. *)
+  check_int "connected" 1 (List.length (Coupling.subset_components g nodes))
+
+let test_bfs_tree () =
+  let g = Devices.line 5 in
+  let parents = Coupling.bfs_tree g ~root:2 ~nodes:[ 0; 1; 2; 3; 4 ] in
+  check_int "root parent" 2 parents.(2);
+  check_int "parent of 0" 1 parents.(0);
+  check_int "parent of 4" 3 parents.(4);
+  let partial = Coupling.bfs_tree g ~root:0 ~nodes:[ 0; 1; 3 ] in
+  check_int "unreachable node" (-1) partial.(3)
+
+let test_manhattan () =
+  let g = Devices.manhattan in
+  check_int "65 qubits" 65 (Coupling.n_qubits g);
+  check_int "72 couplers" 72 (Coupling.n_edges g);
+  check "connected" true (Coupling.is_connected g);
+  (* Heavy-hex: max degree 3. *)
+  check "sparse (max degree 3)" true
+    (List.for_all (fun v -> Coupling.degree g v <= 3) (List.init 65 Fun.id))
+
+let test_heavy_hex () =
+  let g = Devices.heavy_hex ~rows:3 ~row_length:9 in
+  check "connected" true (Coupling.is_connected g);
+  check "max degree 3" true
+    (List.for_all (fun v -> Coupling.degree g v <= 3) (List.init (Coupling.n_qubits g) Fun.id));
+  (* 3 rows of 9 + bridges: gap 0 has offsets 0,4,8 (3 bridges), gap 1 has
+     offsets 2,6 (2 bridges) -> 27 + 5 qubits. *)
+  check_int "qubit count" 32 (Coupling.n_qubits g);
+  check "validation" true
+    (match Devices.heavy_hex ~rows:0 ~row_length:5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_melbourne () =
+  let g = Devices.melbourne in
+  check_int "16 qubits" 16 (Coupling.n_qubits g);
+  check "connected" true (Coupling.is_connected g)
+
+let prop_distance_triangle =
+  QCheck.Test.make ~name:"BFS distances satisfy the triangle inequality" ~count:100
+    QCheck.(triple (int_bound 64) (int_bound 64) (int_bound 64))
+    (fun (a, b, c) ->
+      let g = Devices.manhattan in
+      Coupling.distance g a c <= Coupling.distance g a b + Coupling.distance g b c)
+
+let prop_path_valid =
+  QCheck.Test.make ~name:"shortest paths walk along edges" ~count:100
+    QCheck.(pair (int_bound 64) (int_bound 64))
+    (fun (a, b) ->
+      let g = Devices.manhattan in
+      let path = Coupling.shortest_path g a b in
+      List.length path = Coupling.distance g a b + 1
+      &&
+      let rec ok = function
+        | u :: (v :: _ as rest) -> Coupling.adjacent g u v && ok rest
+        | _ -> true
+      in
+      ok path)
+
+(* --- Layout --- *)
+
+let test_layout_identity () =
+  let l = Layout.identity 3 5 in
+  check_int "phys of 2" 2 (Layout.phys l 2);
+  check "log of 4 empty" true (Layout.log l 4 = None);
+  check "log of 1" true (Layout.log l 1 = Some 1)
+
+let test_layout_swap () =
+  let l = Layout.identity 2 4 in
+  Layout.swap_physical l 1 3;
+  check_int "logical 1 moved" 3 (Layout.phys l 1);
+  check "phys 1 now empty" true (Layout.log l 1 = None);
+  Layout.swap_physical l 3 0;
+  check_int "logical 1 moved again" 0 (Layout.phys l 1);
+  check_int "logical 0 displaced" 3 (Layout.phys l 0)
+
+let test_layout_most_connected () =
+  let l = Layout.most_connected Devices.manhattan ~n_logical:10 in
+  let positions = List.init 10 (Layout.phys l) in
+  check_int "injective" 10 (List.length (List.sort_uniq Stdlib.compare positions));
+  check_int "connected region" 1
+    (List.length (Coupling.subset_components Devices.manhattan positions))
+
+let test_layout_validation () =
+  Alcotest.check_raises "too many logical"
+    (Invalid_argument "Layout.identity: too many logical qubits") (fun () ->
+      ignore (Layout.identity 5 3));
+  Alcotest.check_raises "not injective"
+    (Invalid_argument "Layout.of_assignment: not injective") (fun () ->
+      ignore (Layout.of_assignment ~n_physical:4 [| 1; 1 |]))
+
+let prop_layout_swaps_keep_bijection =
+  QCheck.Test.make ~name:"swap sequences keep the layout bijective" ~count:100
+    QCheck.(list_of_size (Gen.int_bound 20) (pair (int_bound 7) (int_bound 7)))
+    (fun swaps ->
+      let l = Layout.identity 5 8 in
+      List.iter (fun (a, b) -> if a <> b then Layout.swap_physical l a b) swaps;
+      let positions = List.init 5 (Layout.phys l) in
+      List.length (List.sort_uniq Stdlib.compare positions) = 5
+      && List.for_all (fun q -> Layout.log l (Layout.phys l q) = Some q) (List.init 5 Fun.id))
+
+(* --- Noise model --- *)
+
+let test_esp_uniform () =
+  let nm = Noise_model.uniform ~cnot:0.01 ~single:0.001 ~readout:0.0 () in
+  let circuit = Circuit.of_gates 2 [ Gate.H 0; Gate.Cnot (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "esp" (0.999 *. 0.99) (Noise_model.esp nm circuit)
+
+let test_esp_swap_counts_triple () =
+  let nm = Noise_model.uniform ~cnot:0.01 ~single:0.0 ~readout:0.0 () in
+  let swap = Circuit.of_gates 2 [ Gate.Swap (0, 1) ] in
+  let three = Circuit.of_gates 2 [ Gate.Cnot (0, 1); Gate.Cnot (1, 0); Gate.Cnot (0, 1) ] in
+  Alcotest.(check (float 1e-9)) "swap = 3 cnots"
+    (Noise_model.esp nm three) (Noise_model.esp nm swap)
+
+let test_calibrated_deterministic () =
+  let nm1 = Noise_model.calibrated Devices.melbourne ~seed:7 () in
+  let nm2 = Noise_model.calibrated Devices.melbourne ~seed:7 () in
+  Alcotest.(check (float 1e-15)) "same seed same rates"
+    (nm1.Noise_model.cnot_error 0 1) (nm2.Noise_model.cnot_error 0 1);
+  check "rates vary across pairs" true
+    (nm1.Noise_model.cnot_error 0 1 <> nm1.Noise_model.cnot_error 1 2
+    || nm1.Noise_model.cnot_error 2 3 <> nm1.Noise_model.cnot_error 3 4)
+
+let test_esp_untouched_qubits_no_readout () =
+  let nm = Noise_model.uniform ~cnot:0.0 ~single:0.0 ~readout:0.5 () in
+  let c = Circuit.of_gates 4 [ Gate.H 0 ] in
+  Alcotest.(check (float 1e-9)) "only touched qubits read out" 0.5 (Noise_model.esp nm c)
+
+let () =
+  Alcotest.run "hardware"
+    [
+      ( "coupling",
+        [
+          Alcotest.test_case "create/dedup" `Quick test_create_dedup;
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "distance and paths" `Quick test_distance_path;
+          Alcotest.test_case "weighted paths" `Quick test_weighted_path;
+          Alcotest.test_case "subset components" `Quick test_subset_components;
+          Alcotest.test_case "densest subgraph" `Quick test_densest_subgraph;
+          Alcotest.test_case "bfs tree" `Quick test_bfs_tree;
+          qcheck prop_distance_triangle;
+          qcheck prop_path_valid;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "manhattan" `Quick test_manhattan;
+          Alcotest.test_case "melbourne" `Quick test_melbourne;
+          Alcotest.test_case "heavy-hex generator" `Quick test_heavy_hex;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "identity" `Quick test_layout_identity;
+          Alcotest.test_case "swap tracking" `Quick test_layout_swap;
+          Alcotest.test_case "most connected" `Quick test_layout_most_connected;
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+          qcheck prop_layout_swaps_keep_bijection;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "uniform esp" `Quick test_esp_uniform;
+          Alcotest.test_case "swap error" `Quick test_esp_swap_counts_triple;
+          Alcotest.test_case "calibrated determinism" `Quick test_calibrated_deterministic;
+          Alcotest.test_case "readout only on touched qubits" `Quick
+            test_esp_untouched_qubits_no_readout;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+open Ph_linalg
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let qcheck = QCheck_alcotest.to_alcotest
+
+let c re im : Cplx.t = { re; im }
+
+(* --- Cplx --- *)
+
+let test_cplx_basics () =
+  check "i^2 = -1" true (Cplx.approx_equal (Cplx.mul Cplx.i Cplx.i) (c (-1.) 0.));
+  check "i_pow 3" true (Cplx.approx_equal (Cplx.i_pow 3) (c 0. (-1.)));
+  check "i_pow negative" true (Cplx.approx_equal (Cplx.i_pow (-1)) (Cplx.i_pow 3));
+  checkf "norm 3+4i" 5. (Cplx.norm (c 3. 4.));
+  check "exp_i pi" true (Cplx.approx_equal (Cplx.exp_i Float.pi) (c (-1.) 0.) ~eps:1e-12)
+
+(* --- Matrix --- *)
+
+let pauli_x = Matrix.init 2 2 (fun i j -> if i <> j then c 1. 0. else Cplx.zero)
+
+let pauli_z =
+  Matrix.init 2 2 (fun i j ->
+      if i <> j then Cplx.zero else if i = 0 then c 1. 0. else c (-1.) 0.)
+
+let test_matrix_mul () =
+  let xz = Matrix.mul pauli_x pauli_z in
+  let zx = Matrix.mul pauli_z pauli_x in
+  check "XZ = -ZX" true (Matrix.equal xz (Matrix.scale (c (-1.) 0.) zx));
+  check "X^2 = I" true (Matrix.equal (Matrix.mul pauli_x pauli_x) (Matrix.identity 2))
+
+let test_kron () =
+  let xx = Matrix.kron pauli_x pauli_x in
+  Alcotest.(check int) "dims" 4 (Matrix.rows xx);
+  (* XX flips both bits: entry (0, 3) = 1 *)
+  check "XX(0,3)=1" true (Cplx.approx_equal (Matrix.get xx 0 3) (c 1. 0.));
+  check "XX(0,0)=0" true (Cplx.approx_equal (Matrix.get xx 0 0) Cplx.zero)
+
+let test_unitary_phase () =
+  let u = Matrix.scale (Cplx.exp_i 0.7) (Matrix.identity 4) in
+  check "phase-equal to id" true (Matrix.equal_up_to_phase u (Matrix.identity 4));
+  check "not equal to id" false (Matrix.equal u (Matrix.identity 4));
+  check "is unitary" true (Matrix.is_unitary u);
+  check "X unitary" true (Matrix.is_unitary pauli_x)
+
+let test_dagger_trace () =
+  let m = Matrix.init 2 2 (fun i j -> c (float_of_int i) (float_of_int j)) in
+  let d = Matrix.dagger m in
+  check "dagger entry" true (Cplx.approx_equal (Matrix.get d 1 0) (c 0. (-1.)));
+  check "trace" true (Cplx.approx_equal (Matrix.trace m) (c 1. 1.))
+
+let prop_kron_mul_exchange =
+  QCheck.Test.make ~name:"(A⊗B)(C⊗D) = AC⊗BD" ~count:30
+    QCheck.(
+      quad
+        (array_of_size (Gen.return 4) (float_bound_inclusive 1.))
+        (array_of_size (Gen.return 4) (float_bound_inclusive 1.))
+        (array_of_size (Gen.return 4) (float_bound_inclusive 1.))
+        (array_of_size (Gen.return 4) (float_bound_inclusive 1.)))
+    (fun (a, b, cc, d) ->
+      let m arr = Matrix.init 2 2 (fun i j -> c arr.((2 * i) + j) 0.) in
+      let a = m a and b = m b and cc = m cc and d = m d in
+      Matrix.equal
+        (Matrix.mul (Matrix.kron a b) (Matrix.kron cc d))
+        (Matrix.kron (Matrix.mul a cc) (Matrix.mul b d)))
+
+(* --- Statevector --- *)
+
+let test_basis_prob () =
+  let sv = Statevector.basis 3 5 in
+  checkf "prob |101>" 1. (Statevector.prob sv 5);
+  checkf "prob |000>" 0. (Statevector.prob sv 0);
+  checkf "norm" 1. (Statevector.norm sv)
+
+let hadamard : Cplx.t array =
+  let s = 1. /. sqrt 2. in
+  [| c s 0.; c s 0.; c s 0.; c (-.s) 0. |]
+
+let test_apply1 () =
+  let sv = Statevector.zero 2 in
+  Statevector.apply1 sv 0 hadamard;
+  checkf "H|0> amp 0" (1. /. sqrt 2.) (Statevector.amplitude sv 0).re;
+  checkf "H|0> amp 1" (1. /. sqrt 2.) (Statevector.amplitude sv 1).re;
+  checkf "norm preserved" 1. (Statevector.norm sv)
+
+let test_cnot_bell () =
+  let sv = Statevector.zero 2 in
+  Statevector.apply1 sv 0 hadamard;
+  Statevector.apply_cnot sv ~control:0 ~target:1;
+  checkf "bell 00" 0.5 (Statevector.prob sv 0);
+  checkf "bell 11" 0.5 (Statevector.prob sv 3);
+  checkf "bell 01" 0. (Statevector.prob sv 1)
+
+let test_swap () =
+  let sv = Statevector.basis 2 1 in
+  (* |01>: qubit0 = 1 *)
+  Statevector.apply_swap sv 0 1;
+  checkf "swapped to |10>" 1. (Statevector.prob sv 2)
+
+let test_cz () =
+  let sv = Statevector.basis 2 3 in
+  Statevector.apply_cz sv 0 1;
+  checkf "CZ|11> = -|11>" (-1.) (Statevector.amplitude sv 3).re
+
+let test_sample () =
+  let sv = Statevector.basis 3 6 in
+  Alcotest.(check int) "sample deterministic" 6 (Statevector.sample sv ~rand:(fun () -> 0.5))
+
+let test_phase_equal () =
+  let a = Statevector.basis 2 1 in
+  let b = Statevector.basis 2 1 in
+  Statevector.apply1 b 0
+    [| Cplx.exp_i 0.3; Cplx.zero; Cplx.zero; Cplx.exp_i 0.3 |];
+  check "equal up to phase" true (Statevector.equal_up_to_phase a b);
+  check "different states" false
+    (Statevector.equal_up_to_phase a (Statevector.basis 2 2))
+
+let test_apply_rzz () =
+  (* exp(-iθ/2 ZZ) phases: |00>,|11> get e^{-iθ/2}; |01>,|10> e^{+iθ/2} *)
+  let theta = 0.83 in
+  List.iter
+    (fun (k, sign) ->
+      let sv = Statevector.basis 2 k in
+      Statevector.apply_rzz sv theta 0 1;
+      check
+        (Printf.sprintf "phase of |%d>" k)
+        true
+        (Cplx.approx_equal (Statevector.amplitude sv k) (Cplx.exp_i (sign *. theta /. 2.))))
+    [ 0, -1.; 3, -1.; 1, 1.; 2, 1. ]
+
+let prop_apply1_norm =
+  QCheck.Test.make ~name:"1q unitaries preserve norm" ~count:50
+    QCheck.(pair (float_bound_inclusive 6.28) (int_bound 2))
+    (fun (theta, q) ->
+      let sv = Statevector.basis 3 3 in
+      let rz : Cplx.t array =
+        [| Cplx.exp_i (-.theta /. 2.); Cplx.zero; Cplx.zero; Cplx.exp_i (theta /. 2.) |]
+      in
+      Statevector.apply1 sv q hadamard;
+      Statevector.apply1 sv q rz;
+      abs_float (Statevector.norm sv -. 1.) < 1e-9)
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ("cplx", [ Alcotest.test_case "basics" `Quick test_cplx_basics ]);
+      ( "matrix",
+        [
+          Alcotest.test_case "multiplication" `Quick test_matrix_mul;
+          Alcotest.test_case "kronecker" `Quick test_kron;
+          Alcotest.test_case "global phase equality" `Quick test_unitary_phase;
+          Alcotest.test_case "dagger/trace" `Quick test_dagger_trace;
+          qcheck prop_kron_mul_exchange;
+        ] );
+      ( "statevector",
+        [
+          Alcotest.test_case "basis states" `Quick test_basis_prob;
+          Alcotest.test_case "single-qubit gates" `Quick test_apply1;
+          Alcotest.test_case "bell state" `Quick test_cnot_bell;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "cz" `Quick test_cz;
+          Alcotest.test_case "sampling" `Quick test_sample;
+          Alcotest.test_case "phase equality" `Quick test_phase_equal;
+          Alcotest.test_case "rzz rotation" `Quick test_apply_rzz;
+          qcheck prop_apply1_norm;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_schedule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let qcheck = QCheck_alcotest.to_alcotest
+
+let term s w = Pauli_term.make (Pauli_string.of_string s) w
+
+let single s = Block.make [ term s 1.0 ] (Block.fixed 0.5)
+
+let prog_of blocks = Program.make (Block.n_qubits (List.hd blocks)) blocks
+
+let strings_of_layers layers =
+  List.concat_map
+    (fun l ->
+      List.concat_map
+        (fun b ->
+          List.map
+            (fun (t : Pauli_term.t) -> Pauli_string.to_string t.str)
+            (Block.terms b))
+        l.Layer.blocks)
+    layers
+
+(* --- Layer --- *)
+
+let test_layer_accessors () =
+  let l = Layer.make [ single "ZZII"; single "IIXX" ] in
+  Alcotest.(check string) "leader" "ZZII"
+    (Pauli_string.to_string (Block.representative (Layer.leader l)).str);
+  check_int "padding size" 1 (List.length (Layer.padding l));
+  Alcotest.(check (list int)) "active" [ 0; 1; 2; 3 ] (Layer.active_qubits l)
+
+let test_est_depth () =
+  (* weight-3 string: 2*(3-1)+1 = 5 *)
+  check_int "weight-3 depth" 5 (Layer.est_block_depth (single "ZZZI"));
+  check_int "weight-1 depth" 1 (Layer.est_block_depth (single "IIIZ"))
+
+let test_overlap_with_tail () =
+  let l = Layer.make [ single "ZZII" ] in
+  check_int "overlap" 2 (Layer.overlap_with_tail l (single "ZZXI"));
+  check_int "no overlap" 0 (Layer.overlap_with_tail l (single "IIXX"))
+
+(* --- GCO --- *)
+
+let test_gco_order () =
+  let prog = prog_of [ single "IIZ"; single "XII"; single "ZII"; single "YII" ] in
+  let layers = Gco.schedule prog in
+  Alcotest.(check (list string)) "lex order (X<Y<Z<I, high qubit first)"
+    [ "XII"; "YII"; "ZII"; "IIZ" ]
+    (strings_of_layers layers)
+
+let test_gco_sorts_within_block () =
+  let b = Block.make [ term "ZII" 1.0; term "XII" 1.0 ] (Block.fixed 1.0) in
+  let layers = Gco.schedule (prog_of [ b ]) in
+  Alcotest.(check (list string)) "terms sorted" [ "XII"; "ZII" ] (strings_of_layers layers)
+
+let test_gco_singleton_layers () =
+  let prog = prog_of [ single "ZZI"; single "IZZ" ] in
+  check "every layer singleton" true
+    (List.for_all (fun l -> List.length l.Layer.blocks = 1) (Gco.schedule prog))
+
+(* --- Depth-oriented --- *)
+
+let test_do_active_length_order () =
+  let prog = prog_of [ single "IIIZ"; single "ZZZZ"; single "IZZI" ] in
+  let layers = Depth_oriented.schedule prog in
+  match layers with
+  | first :: _ ->
+    Alcotest.(check string) "largest first" "ZZZZ"
+      (Pauli_string.to_string (Block.representative (Layer.leader first)).str)
+  | [] -> Alcotest.fail "no layers"
+
+let test_do_pads_disjoint_blocks () =
+  (* A large block on q4..7 and small blocks on q0..1 can share a layer. *)
+  let big =
+    Block.make
+      [ term "ZZZZIIII" 1.0; term "ZZZYIIII" 1.0; term "XZZXIIII" 1.0 ]
+      (Block.fixed 1.0)
+  in
+  let small1 = single "IIIIIIZZ" in
+  let small2 = single "IIIIIIXX" in
+  let layers = Depth_oriented.schedule (prog_of [ big; small1; small2 ]) in
+  match layers with
+  | first :: _ ->
+    check "padding happened" true (List.length first.Layer.blocks > 1);
+    let leader_active = Block.active_qubits (Layer.leader first) in
+    List.iter
+      (fun b ->
+        check "padding disjoint from leader" true
+          (not
+             (List.exists
+                (fun q -> List.mem q leader_active)
+                (Block.active_qubits b))))
+      (Layer.padding first)
+  | [] -> Alcotest.fail "no layers"
+
+let test_do_padding_ablation () =
+  let prog = prog_of [ single "ZZZZIIII"; single "IIIIIIZZ" ] in
+  let layers = Depth_oriented.schedule ~padding:false prog in
+  check "no padding when ablated" true
+    (List.for_all (fun l -> List.length l.Layer.blocks = 1) layers)
+
+let test_do_respects_budget () =
+  (* The small blocks' estimated depth must stay below the leader's. *)
+  let big = Block.make [ term "ZZZIII" 1.0 ] (Block.fixed 1.0) in
+  (* leader depth 5; each small candidate has depth 3: only one fits. *)
+  let s1 = single "IIIZZI" and s2 = single "IIIIZZ" in
+  let layers = Depth_oriented.schedule (prog_of [ big; s1; s2 ]) in
+  match layers with
+  | first :: _ ->
+    let pad_depth =
+      List.fold_left (fun a b -> a + Layer.est_block_depth b) 0 (Layer.padding first)
+    in
+    check "padding within budget" true
+      (pad_depth < Layer.est_block_depth (Layer.leader first))
+  | [] -> Alcotest.fail "no layers"
+
+(* Random programs: both schedulers are permutations of the input. *)
+let gen_blocks n =
+  QCheck.Gen.(
+    let gen_str =
+      map
+        (fun ops ->
+          let s = Pauli_string.of_ops (Array.of_list ops) in
+          if Pauli_string.is_identity s then Pauli_string.of_support n [ 0, Pauli.Z ] else s)
+        (list_repeat n (oneofl Pauli.all))
+    in
+    list_size (int_range 1 12)
+      (map2
+         (fun s w -> Block.make [ Pauli_term.make s (0.1 +. w) ] (Block.fixed 0.7))
+         gen_str (float_bound_inclusive 1.)))
+
+let prop_gco_permutation =
+  QCheck.Test.make ~name:"GCO preserves the block multiset" ~count:60
+    (QCheck.make (gen_blocks 5))
+    (fun blocks ->
+      let prog = prog_of blocks in
+      Program.same_multiset prog (Gco.run prog))
+
+let prop_do_permutation =
+  QCheck.Test.make ~name:"DO preserves the block multiset" ~count:60
+    (QCheck.make (gen_blocks 5))
+    (fun blocks ->
+      let prog = prog_of blocks in
+      Program.same_multiset prog (Depth_oriented.run prog))
+
+let prop_do_layers_disjoint =
+  QCheck.Test.make ~name:"DO padding is always disjoint from its leader" ~count:60
+    (QCheck.make (gen_blocks 6))
+    (fun blocks ->
+      let layers = Depth_oriented.schedule (prog_of blocks) in
+      List.for_all
+        (fun l ->
+          let leader_active = Block.active_qubits (Layer.leader l) in
+          List.for_all
+            (fun b ->
+              not
+                (List.exists (fun q -> List.mem q leader_active) (Block.active_qubits b)))
+            (Layer.padding l))
+        layers)
+
+let prop_gco_sorted =
+  QCheck.Test.make ~name:"GCO output is lexicographically sorted" ~count:60
+    (QCheck.make (gen_blocks 5))
+    (fun blocks ->
+      let layers = Gco.schedule (prog_of blocks) in
+      let reps =
+        List.map (fun l -> (Block.representative (Layer.leader l)).str) layers
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Pauli_string.compare_lex a b <= 0 && sorted rest
+        | _ -> true
+      in
+      sorted reps)
+
+(* --- Max-overlap (TSP-style) scheduling --- *)
+
+let test_maxov_chains_overlap () =
+  (* ZZI then IZZ overlap on q1; XXI overlaps neither strongly: the chain
+     should keep the overlapping pair adjacent. *)
+  let prog = prog_of [ single "XXI"; single "IZZ"; single "ZZI" ] in
+  let order = strings_of_layers (Max_overlap.schedule prog) in
+  let index s = Option.get (List.find_index (String.equal s) order) in
+  check "ZZI next to IZZ" true (abs (index "ZZI" - index "IZZ") = 1)
+
+let prop_maxov_permutation =
+  QCheck.Test.make ~name:"max-overlap preserves the block multiset" ~count:60
+    (QCheck.make (gen_blocks 5))
+    (fun blocks ->
+      let prog = prog_of blocks in
+      Program.same_multiset prog (Max_overlap.run prog))
+
+(* Greedy chaining is not per-instance monotone, but over a seeded
+   sample it must accumulate more consecutive overlap than the original
+   program order. *)
+let test_maxov_aggregate_overlap () =
+  let total prog =
+    let strs =
+      List.map
+        (fun b -> (Block.representative b).Pauli_term.str)
+        (Program.blocks prog)
+    in
+    let rec go acc = function
+      | a :: (b :: _ as rest) -> go (acc + Pauli_string.overlap a b) rest
+      | _ -> acc
+    in
+    go 0 strs
+  in
+  let rand = Random.State.make [| 17 |] in
+  let gen = gen_blocks 6 in
+  let chained = ref 0 and original = ref 0 in
+  for _ = 1 to 40 do
+    let prog = prog_of (gen rand) in
+    chained := !chained + total (Max_overlap.run prog);
+    original := !original + total prog
+  done;
+  check
+    (Printf.sprintf "aggregate overlap %d >= %d" !chained !original)
+    true
+    (!chained >= !original)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "layer",
+        [
+          Alcotest.test_case "accessors" `Quick test_layer_accessors;
+          Alcotest.test_case "depth estimate" `Quick test_est_depth;
+          Alcotest.test_case "tail overlap" `Quick test_overlap_with_tail;
+        ] );
+      ( "gco",
+        [
+          Alcotest.test_case "lexicographic order" `Quick test_gco_order;
+          Alcotest.test_case "in-block sorting" `Quick test_gco_sorts_within_block;
+          Alcotest.test_case "singleton layers" `Quick test_gco_singleton_layers;
+          qcheck prop_gco_permutation;
+          qcheck prop_gco_sorted;
+        ] );
+      ( "depth_oriented",
+        [
+          Alcotest.test_case "active-length order" `Quick test_do_active_length_order;
+          Alcotest.test_case "pads disjoint blocks" `Quick test_do_pads_disjoint_blocks;
+          Alcotest.test_case "padding ablation" `Quick test_do_padding_ablation;
+          Alcotest.test_case "depth budget" `Quick test_do_respects_budget;
+          qcheck prop_do_permutation;
+          qcheck prop_do_layers_disjoint;
+        ] );
+      ( "max_overlap",
+        [
+          Alcotest.test_case "chains overlapping blocks" `Quick test_maxov_chains_overlap;
+          qcheck prop_maxov_permutation;
+          Alcotest.test_case "aggregate overlap gain" `Quick test_maxov_aggregate_overlap;
+        ] );
+    ]

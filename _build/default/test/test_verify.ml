@@ -1,0 +1,208 @@
+open Ph_pauli
+open Ph_gatelevel
+open Ph_hardware
+open Ph_verify
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let str = Pauli_string.of_string
+
+(* --- Pauli_frame.extract on hand-built circuits --- *)
+
+let test_extract_plain_rz () =
+  let c = Circuit.of_gates 2 [ Gate.Rz (0.3, 1) ] in
+  let rots, residue = Pauli_frame.extract c in
+  check "identity residue" true (Pauli_frame.residue_is_identity residue);
+  match rots with
+  | [ (p, theta) ] ->
+    Alcotest.(check string) "Z on q1" "ZI" (Pauli_string.to_string p);
+    Alcotest.(check (float 1e-12)) "angle" 0.3 theta
+  | _ -> Alcotest.fail "expected one rotation"
+
+let test_extract_conjugated () =
+  (* H q0; Rz q0; H q0  ==  exp(-iθ/2 X0) *)
+  let c = Circuit.of_gates 1 [ Gate.H 0; Gate.Rz (0.4, 0); Gate.H 0 ] in
+  let rots, residue = Pauli_frame.extract c in
+  check "identity residue" true (Pauli_frame.residue_is_identity residue);
+  (match rots with
+  | [ (p, _) ] -> Alcotest.(check string) "X rotation" "X" (Pauli_string.to_string p)
+  | _ -> Alcotest.fail "one rotation");
+  (* CNOT conjugation: exp(-iθ/2 Z0 Z1) *)
+  let c =
+    Circuit.of_gates 2 [ Gate.Cnot (0, 1); Gate.Rz (0.4, 1); Gate.Cnot (0, 1) ]
+  in
+  let rots, residue = Pauli_frame.extract c in
+  check "identity residue" true (Pauli_frame.residue_is_identity residue);
+  match rots with
+  | [ (p, _) ] -> Alcotest.(check string) "ZZ rotation" "ZZ" (Pauli_string.to_string p)
+  | _ -> Alcotest.fail "one rotation"
+
+let test_extract_sign_folding () =
+  (* X q0; Rz q0; X q0 == exp(-iθ/2 (−Z)) == exp(+iθ/2 Z) *)
+  let c = Circuit.of_gates 1 [ Gate.X 0; Gate.Rz (0.4, 0); Gate.X 0 ] in
+  let rots, _ = Pauli_frame.extract c in
+  match rots with
+  | [ (p, theta) ] ->
+    Alcotest.(check string) "still Z" "Z" (Pauli_string.to_string p);
+    Alcotest.(check (float 1e-12)) "negated angle" (-0.4) theta
+  | _ -> Alcotest.fail "one rotation"
+
+let test_extract_y_basis () =
+  (* Rx(π/2); Rz; Rx(−π/2) == exp(-iθ/2 Y) *)
+  let h = Float.pi /. 2. in
+  let c = Circuit.of_gates 1 [ Gate.Rx (h, 0); Gate.Rz (0.4, 0); Gate.Rx (-.h, 0) ] in
+  let rots, residue = Pauli_frame.extract c in
+  check "identity residue" true (Pauli_frame.residue_is_identity residue);
+  match rots with
+  | [ (p, theta) ] ->
+    Alcotest.(check string) "Y rotation" "Y" (Pauli_string.to_string p);
+    check "positive angle" true (theta > 0.)
+  | _ -> Alcotest.fail "one rotation"
+
+let test_extract_rejects_nonclifford () =
+  let c = Circuit.of_gates 1 [ Gate.Rx (0.3, 0) ] in
+  check "raises" true
+    (match Pauli_frame.extract c with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Cross-validate tableau extraction against the dense simulator. *)
+let test_extract_matches_dense () =
+  let circuits =
+    [
+      Circuit.of_gates 3
+        [
+          Gate.H 0; Gate.Cnot (0, 1); Gate.S 2; Gate.Rz (0.3, 1); Gate.Cnot (0, 1);
+          Gate.Sdg 2; Gate.H 0;
+        ];
+      Circuit.of_gates 2
+        [ Gate.S 0; Gate.H 0; Gate.Rz (0.7, 0); Gate.H 0; Gate.Sdg 0 ];
+      Circuit.of_gates 3
+        [
+          Gate.Swap (0, 2); Gate.Rz (0.2, 0); Gate.Swap (0, 2); Gate.Y 1;
+          Gate.Rz (0.5, 1); Gate.Y 1;
+        ];
+    ]
+  in
+  List.iter
+    (fun c ->
+      let rots, residue = Pauli_frame.extract c in
+      if Pauli_frame.residue_is_identity residue then
+        check "tableau factorization matches dense unitary" true
+          (Unitary_check.circuit_implements c rots))
+    circuits
+
+let test_residue_permutation () =
+  let c = Circuit.of_gates 3 [ Gate.Swap (0, 1); Gate.Swap (1, 2) ] in
+  let _, residue = Pauli_frame.extract c in
+  check "not identity" false (Pauli_frame.residue_is_identity residue);
+  match Pauli_frame.residue_permutation residue with
+  | Some perm ->
+    (* data initially at 0 ends at ... SWAP(0,1) then SWAP(1,2): 0→1→2 *)
+    check_int "0 goes to 2" 2 perm.(0);
+    check_int "1 goes to 0" 0 perm.(1);
+    check_int "2 goes to 1" 1 perm.(2)
+  | None -> Alcotest.fail "expected permutation"
+
+let test_residue_permutation_rejects_entangler () =
+  let c = Circuit.of_gates 2 [ Gate.Cnot (0, 1) ] in
+  let _, residue = Pauli_frame.extract c in
+  check "cnot is not a permutation" true (Pauli_frame.residue_permutation residue = None)
+
+(* --- verify_ft --- *)
+
+let test_verify_ft_accepts () =
+  let c =
+    Circuit.of_gates 2
+      [ Gate.H 0; Gate.H 1; Gate.Cnot (0, 1); Gate.Rz (0.6, 1); Gate.Cnot (0, 1);
+        Gate.H 0; Gate.H 1 ]
+  in
+  check "XX rotation accepted" true (Pauli_frame.verify_ft c ~trace:[ str "XX", 0.6 ])
+
+let test_verify_ft_rejects_wrong_trace () =
+  let c = Circuit.of_gates 2 [ Gate.Rz (0.6, 0) ] in
+  check "wrong string rejected" false (Pauli_frame.verify_ft c ~trace:[ str "ZI", 0.6 ]);
+  check "wrong angle rejected" false (Pauli_frame.verify_ft c ~trace:[ str "IZ", 0.5 ]);
+  check "right trace accepted" true (Pauli_frame.verify_ft c ~trace:[ str "IZ", 0.6 ])
+
+let test_verify_ft_rejects_leftover_clifford () =
+  let c = Circuit.of_gates 2 [ Gate.Rz (0.6, 0); Gate.H 1 ] in
+  check "leftover H rejected" false (Pauli_frame.verify_ft c ~trace:[ str "IZ", 0.6 ])
+
+(* --- verify_sc --- *)
+
+let test_verify_sc_swap () =
+  (* Physical circuit on 3 qubits, logical 2: rotation then a routing swap. *)
+  let initial = Layout.identity 2 3 in
+  let final = Layout.identity 2 3 in
+  Layout.swap_physical final 1 2;
+  let c = Circuit.of_gates 3 [ Gate.Rz (0.3, 1); Gate.Swap (1, 2) ] in
+  check "accepted" true
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial ~final);
+  check "wrong final layout rejected" false
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial
+       ~final:(Layout.identity 2 3))
+
+let test_verify_sc_rotation_after_swap () =
+  (* The rotation physically happens at q2 but logically on qubit 1. *)
+  let initial = Layout.identity 2 3 in
+  let final = Layout.identity 2 3 in
+  Layout.swap_physical final 1 2;
+  let c = Circuit.of_gates 3 [ Gate.Swap (1, 2); Gate.Rz (0.3, 2) ] in
+  check "conjugated back to initial frame" true
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial ~final)
+
+(* --- Unitary_check --- *)
+
+let test_rotations_unitary () =
+  let u = Unitary_check.rotations_unitary ~n_qubits:2 [ str "ZZ", 0.4; str "XI", 0.2 ] in
+  check "unitary" true (Ph_linalg.Matrix.is_unitary u)
+
+let test_circuit_implements_rejects () =
+  let c = Circuit.of_gates 2 [ Gate.Rz (0.4, 0) ] in
+  check "accepts correct" true (Unitary_check.circuit_implements c [ str "IZ", 0.4 ]);
+  check "rejects wrong" false (Unitary_check.circuit_implements c [ str "ZI", 0.4 ])
+
+let test_sc_circuit_leak_detection () =
+  (* A circuit entangling an ancilla must be rejected. *)
+  let initial = Layout.identity 2 3 in
+  let c = Circuit.of_gates 3 [ Gate.H 2; Gate.Cnot (2, 0); Gate.Rz (0.3, 0) ] in
+  check "leaking circuit rejected" false
+    (Unitary_check.sc_circuit_implements ~circuit:c ~rotations:[ str "IZ", 0.3 ]
+       ~initial ~final:initial)
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "pauli_frame",
+        [
+          Alcotest.test_case "plain rz" `Quick test_extract_plain_rz;
+          Alcotest.test_case "clifford conjugation" `Quick test_extract_conjugated;
+          Alcotest.test_case "sign folding" `Quick test_extract_sign_folding;
+          Alcotest.test_case "y basis" `Quick test_extract_y_basis;
+          Alcotest.test_case "rejects non-clifford" `Quick test_extract_rejects_nonclifford;
+          Alcotest.test_case "matches dense simulator" `Quick test_extract_matches_dense;
+          Alcotest.test_case "permutation residue" `Quick test_residue_permutation;
+          Alcotest.test_case "entangler is no permutation" `Quick
+            test_residue_permutation_rejects_entangler;
+        ] );
+      ( "verify_ft",
+        [
+          Alcotest.test_case "accepts" `Quick test_verify_ft_accepts;
+          Alcotest.test_case "rejects wrong trace" `Quick test_verify_ft_rejects_wrong_trace;
+          Alcotest.test_case "rejects leftover clifford" `Quick
+            test_verify_ft_rejects_leftover_clifford;
+        ] );
+      ( "verify_sc",
+        [
+          Alcotest.test_case "swap residue" `Quick test_verify_sc_swap;
+          Alcotest.test_case "rotation after swap" `Quick test_verify_sc_rotation_after_swap;
+        ] );
+      ( "unitary_check",
+        [
+          Alcotest.test_case "rotations unitary" `Quick test_rotations_unitary;
+          Alcotest.test_case "accept/reject" `Quick test_circuit_implements_rejects;
+          Alcotest.test_case "ancilla leak detection" `Quick test_sc_circuit_leak_detection;
+        ] );
+    ]
