@@ -9,7 +9,14 @@
 
    Every compiled circuit is certified against its rotation trace by the
    Pauli-frame verifier; rows are flagged with `!` if verification ever
-   fails (it should not). *)
+   fails (it should not).
+
+   Machine-readable perf trajectory: append `--json FILE` to any table
+   run to also write every benchmark × config record (metrics plus the
+   per-stage compile trace) as a JSON array, and diff two such files with
+
+     dune exec bench/main.exe -- table2-ft --json BENCH_pr1.json
+     dune exec bench/main.exe -- compare BENCH_pr0.json BENCH_pr1.json *)
 
 open Paulihedral
 open Ph_pauli_ir
@@ -49,6 +56,33 @@ let wanted filters (b : Suite.t) =
 
 let pct a b = Printf.sprintf "%+.1f%%" (Report.delta a b)
 
+(* ---------- machine-readable perf records (--json FILE) ---------- *)
+
+let json_enabled = ref false
+let json_records : Json.t list ref = ref []
+
+let record ~bench ~config prog (r : Pipelines.run) =
+  if !json_enabled then
+    json_records :=
+      Report.record_to_json
+        {
+          Report.bench;
+          config;
+          qubits = Program.n_qubits prog;
+          paulis = Program.term_count prog;
+          metrics = r.Pipelines.metrics;
+          trace = r.Pipelines.trace;
+        }
+      :: !json_records
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc
+    (Json.to_string ~indent:true (Json.List (List.rev !json_records)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) path
+
 (* ---------- Table 1: benchmark information ---------- *)
 
 let table1 filters =
@@ -81,6 +115,8 @@ let table2_sc filters =
         let prog = b.Suite.generate () in
         let ph = Pipelines.ph_sc sc_device prog in
         let tk = Pipelines.tk_sc sc_device prog in
+        record ~bench:b.Suite.name ~config:"table2-sc/PH" prog ph;
+        record ~bench:b.Suite.name ~config:"table2-sc/TK" prog tk;
         row b.Suite.name (checked ph "PH" :: metrics_cols ph);
         row "" (checked tk "TK" :: metrics_cols tk)
       end)
@@ -95,6 +131,8 @@ let table2_ft filters =
         let prog = b.Suite.generate () in
         let ph = Pipelines.ph_ft ~schedule:Config.Depth_oriented prog in
         let tk = Pipelines.tk_ft prog in
+        record ~bench:b.Suite.name ~config:"table2-ft/PH" prog ph;
+        record ~bench:b.Suite.name ~config:"table2-ft/TK" prog tk;
         row b.Suite.name (checked ph "PH" :: metrics_cols ph);
         row "" (checked tk "TK" :: metrics_cols tk)
       end)
@@ -112,6 +150,8 @@ let table3 filters =
         let prog = b.Suite.generate () in
         let ph = Pipelines.ph_sc sc_device prog in
         let qc = Pipelines.qaoa_sc sc_device prog in
+        record ~bench:b.Suite.name ~config:"table3/PH" prog ph;
+        record ~bench:b.Suite.name ~config:"table3/QAOA_comp" prog qc;
         row b.Suite.name (checked ph "PH" :: metrics_cols ph);
         row "" (checked qc "QAOA_comp" :: metrics_cols qc)
       end)
@@ -131,6 +171,8 @@ let table4_sched filters =
     in
     let gco = compiled Config.Gco in
     let dor = compiled Config.Depth_oriented in
+    record ~bench:b.Suite.name ~config:"table4-sched/GCO" prog gco;
+    record ~bench:b.Suite.name ~config:"table4-sched/DO" prog dor;
     let g = gco.Pipelines.metrics and d = dor.Pipelines.metrics in
     if Program.block_count prog <= 1 then row b.Suite.name [ "N/A"; "N/A"; "N/A"; "N/A" ]
     else
@@ -169,6 +211,8 @@ let table4_bc filters =
           | Suite.SC -> Pipelines.ph_sc ~schedule:Config.Gco sc_device prog
         in
         let base = scheduled_naive b prog in
+        record ~bench:b.Suite.name ~config:"table4-bc/PH" prog ph;
+        record ~bench:b.Suite.name ~config:"table4-bc/naive" prog base;
         let p = ph.Pipelines.metrics and n = base.Pipelines.metrics in
         row
           (checked ph (checked base b.Suite.name))
@@ -230,6 +274,7 @@ let fig11 filters =
             initial_layout = Some routed.Ph_baselines.Router.initial_layout;
             final_layout = Some routed.Ph_baselines.Router.final_layout;
             metrics = Report.of_circuit circuit;
+            trace = Report.empty_trace;
           }
         in
         let ph = Pipelines.ph_sc device prog in
@@ -376,6 +421,78 @@ let timing () =
         per_test)
     results
 
+(* ---------- compare: perf-trajectory deltas between two reports ---------- *)
+
+let load_records path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  List.map Report.record_of_json (Json.to_list (Json.parse s))
+
+let compare_reports a_path b_path =
+  let load path =
+    try load_records path
+    with
+    | Sys_error msg ->
+      Printf.eprintf "compare: %s\n" msg;
+      exit 1
+    | Json.Parse_error msg ->
+      Printf.eprintf "compare: %s: %s\n" path msg;
+      exit 1
+  in
+  let a = load a_path and b = load b_path in
+  Printf.printf "=== compare: %s (A) vs %s (B) ===\n" a_path b_path;
+  Printf.printf "%-14s %-22s %10s %10s %10s %10s\n" "benchmark" "config" "cnot"
+    "total" "depth" "time";
+  let ratios_cnot = ref [] and ratios_total = ref [] in
+  let ratios_depth = ref [] and ratios_time = ref [] in
+  let matched = ref 0 in
+  List.iter
+    (fun (ra : Report.record) ->
+      match
+        List.find_opt
+          (fun (rb : Report.record) ->
+            rb.Report.bench = ra.Report.bench && rb.Report.config = ra.Report.config)
+          b
+      with
+      | None -> ()
+      | Some rb ->
+        incr matched;
+        let ma = ra.Report.metrics and mb = rb.Report.metrics in
+        let ratio accessor store =
+          let va = accessor ma and vb = accessor mb in
+          if va > 0. && vb > 0. then store := (vb /. va) :: !store
+        in
+        ratio (fun (m : Report.metrics) -> float_of_int m.Report.cnot) ratios_cnot;
+        ratio (fun (m : Report.metrics) -> float_of_int m.Report.total) ratios_total;
+        ratio (fun (m : Report.metrics) -> float_of_int m.Report.depth) ratios_depth;
+        ratio (fun (m : Report.metrics) -> m.Report.seconds) ratios_time;
+        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx\n" ra.Report.bench
+          ra.Report.config
+          (pct ma.Report.cnot mb.Report.cnot)
+          (pct ma.Report.total mb.Report.total)
+          (pct ma.Report.depth mb.Report.depth)
+          (if ma.Report.seconds > 0. then mb.Report.seconds /. ma.Report.seconds
+           else nan))
+    a;
+  if !matched = 0 then begin
+    Printf.printf "no (benchmark, config) pairs in common\n";
+    1
+  end
+  else begin
+    let gm name = function
+      | [] -> Printf.printf "geomean %-8s (no data)\n" name
+      | rs -> Printf.printf "geomean %-8s %.3fx (B/A, %d rows)\n" name
+                (Report.geomean rs) (List.length rs)
+    in
+    print_newline ();
+    gm "cnot" !ratios_cnot;
+    gm "total" !ratios_total;
+    gm "depth" !ratios_depth;
+    gm "time" !ratios_time;
+    0
+  end
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -390,14 +507,27 @@ let experiments =
     "ablation", ablation;
   ]
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE]\n\
+    \       main.exe compare A.json B.json";
+  exit 1
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "timing" :: _ -> timing ()
-  | _ :: name :: filters when List.mem_assoc name experiments ->
+  let rec extract_json acc = function
+    | "--json" :: path :: rest -> Some path, List.rev_append acc rest
+    | [ "--json" ] -> usage ()
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> None, List.rev acc
+  in
+  let json_path, args = extract_json [] (List.tl (Array.to_list Sys.argv)) in
+  json_enabled := json_path <> None;
+  (match args with
+  | "compare" :: a :: b :: _ -> exit (compare_reports a b)
+  | "compare" :: _ -> usage ()
+  | "timing" :: _ -> timing ()
+  | name :: filters when List.mem_assoc name experiments ->
     (List.assoc name experiments) filters
-  | _ :: [] ->
-    List.iter (fun (_, f) -> f []) experiments
-  | _ ->
-    prerr_endline
-      "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...]";
-    exit 1
+  | [] -> List.iter (fun (_, f) -> f []) experiments
+  | _ -> usage ());
+  match json_path with Some path -> write_json path | None -> ()

@@ -6,7 +6,8 @@
    and prints metrics and (optionally) the gate sequence.
 
      phc input.pauli --backend sc --device manhattan --schedule do
-     phc input.pauli --param dt=0.1 --print-circuit *)
+     phc input.pauli --param dt=0.1 --print-circuit
+     phc input.pauli --json        # bench-report record on stdout *)
 
 open Paulihedral
 open Cmdliner
@@ -48,7 +49,19 @@ let schedule_of = function
   | "none" -> Ok Config.Program_order
   | s -> Error (`Msg (Printf.sprintf "unknown schedule %S (gco | do | maxov | none)" s))
 
-let run file backend device schedule params print_circuit no_verify output =
+let config_name backend device schedule =
+  let sched =
+    match schedule with
+    | Config.Gco -> "gco"
+    | Config.Depth_oriented -> "do"
+    | Config.Max_overlap -> "maxov"
+    | Config.Program_order -> "none"
+  in
+  match backend with
+  | "sc" -> Printf.sprintf "sc/%s/%s" device sched
+  | b -> Printf.sprintf "%s/%s" b sched
+
+let run file backend device schedule params print_circuit no_verify json output =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
@@ -71,11 +84,27 @@ let run file backend device schedule params print_circuit no_verify output =
     1
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (program, out) ->
-    Printf.printf "program: %d qubits, %d blocks, %d Pauli strings\n"
-      (Ph_pauli_ir.Program.n_qubits program)
-      (Ph_pauli_ir.Program.block_count program)
-      (Ph_pauli_ir.Program.term_count program);
-    Printf.printf "compiled: %s\n" (Format.asprintf "%a" Report.pp_metrics out.Compiler.metrics);
+    if json then
+      (* same record schema as bench/main.exe --json, one object *)
+      print_endline
+        (Json.to_string ~indent:true
+           (Report.record_to_json
+              {
+                Report.bench = Filename.basename file;
+                config = config_name backend device schedule;
+                qubits = Ph_pauli_ir.Program.n_qubits program;
+                paulis = Ph_pauli_ir.Program.term_count program;
+                metrics = out.Compiler.metrics;
+                trace = out.Compiler.trace;
+              }))
+    else begin
+      Printf.printf "program: %d qubits, %d blocks, %d Pauli strings\n"
+        (Ph_pauli_ir.Program.n_qubits program)
+        (Ph_pauli_ir.Program.block_count program)
+        (Ph_pauli_ir.Program.term_count program);
+      Printf.printf "compiled: %s\n"
+        (Format.asprintf "%a" Report.pp_metrics out.Compiler.metrics)
+    end;
     let ok =
       no_verify
       ||
@@ -87,7 +116,10 @@ let run file backend device schedule params print_circuit no_verify output =
         Ph_verify.Pauli_frame.verify_ft out.Compiler.circuit
           ~trace:out.Compiler.rotations
     in
-    if not no_verify then Printf.printf "verified: %b\n" ok;
+    if not no_verify then
+      if json then (
+        if not ok then prerr_endline "verification FAILED")
+      else Printf.printf "verified: %b\n" ok;
     if print_circuit then
       Array.iter
         (fun g -> print_endline (Ph_gatelevel.Gate.to_string g))
@@ -97,7 +129,7 @@ let run file backend device schedule params print_circuit no_verify output =
       let oc = open_out path in
       Ph_gatelevel.Qasm.export_to_channel oc out.Compiler.circuit;
       close_out oc;
-      Printf.printf "wrote %s\n" path
+      if not json then Printf.printf "wrote %s\n" path
     | None -> ());
     if ok then 0 else 2
 
@@ -140,6 +172,12 @@ let print_circuit_arg =
 let no_verify_arg =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip Pauli-frame verification.")
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the compile as one bench-report JSON record (metrics plus \
+               per-stage timings and pass counters) instead of the human-readable \
+               summary.")
+
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
          ~doc:"Write the compiled circuit as OpenQASM 2.0.")
@@ -150,6 +188,6 @@ let cmd =
     (Cmd.info "phc" ~version:"1.0" ~doc)
     Term.(
       const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
-      $ print_circuit_arg $ no_verify_arg $ output_arg)
+      $ print_circuit_arg $ no_verify_arg $ json_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

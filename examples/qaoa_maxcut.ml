@@ -62,6 +62,7 @@ let () =
         initial_layout = Some routed.Ph_baselines.Router.initial_layout;
         final_layout = Some routed.Ph_baselines.Router.final_layout;
         metrics = Report.of_circuit circuit;
+        trace = Report.empty_trace;
       }
   in
   Printf.printf "\nPH / generic success ratio: %.2fx\n"

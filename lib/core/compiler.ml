@@ -11,43 +11,115 @@ type output = {
   initial_layout : Layout.t option;
   final_layout : Layout.t option;
   metrics : Report.metrics;
+  trace : Report.trace;
 }
 
 let schedule_layers config prog =
   match config.Config.schedule with
-  | Config.Program_order -> List.map Layer.of_block (Program.blocks prog)
-  | Config.Gco -> Gco.schedule prog
-  | Config.Depth_oriented -> Depth_oriented.schedule prog
-  | Config.Max_overlap -> Max_overlap.schedule prog
+  | Config.Program_order ->
+    let layers = List.map Layer.of_block (Program.blocks prog) in
+    layers, (List.length layers, 0)
+  | Config.Gco ->
+    let layers = Gco.schedule prog in
+    layers, (List.length layers, 0)
+  | Config.Depth_oriented ->
+    let layers, stats = Depth_oriented.schedule_stats prog in
+    layers, (stats.Depth_oriented.layers, stats.Depth_oriented.padded)
+  | Config.Max_overlap ->
+    let layers = Max_overlap.schedule prog in
+    layers, (List.length layers, 0)
 
 let compile config prog =
-  let (circuit, rotations, initial_layout, final_layout), seconds =
-    Report.timed (fun () ->
-        let layers = schedule_layers config prog in
-        match config.Config.backend with
-        | Config.Ft ->
-          let r = Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers in
-          let c = if config.Config.peephole then Peephole.optimize r.circuit else r.circuit in
-          c, r.rotations, None, None
-        | Config.Sc { coupling; noise } ->
-          let r =
-            Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
-              layers
-          in
-          let c = Circuit.decompose_swaps r.circuit in
-          let c = if config.Config.peephole then Peephole.optimize c else c in
-          c, r.rotations, Some r.initial_layout, Some r.final_layout
-        | Config.Ion_trap ->
-          (* native lowering already interleaves its own cleanup passes *)
-          let r = Ion_trap.synthesize ~n_qubits:(Program.n_qubits prog) layers in
-          r.circuit, r.rotations, None, None)
+  let t0 = Unix.gettimeofday () in
+  let (layers, (sched_layers, sched_padded)), schedule_s =
+    Report.timed (fun () -> schedule_layers config prog)
   in
+  let peephole c =
+    if config.Config.peephole then
+      Report.timed (fun () -> Peephole.optimize_stats c)
+    else (c, { Peephole.removed = 0; rounds = 0 }), 0.
+  in
+  let circuit, rotations, initial_layout, final_layout, trace =
+    match config.Config.backend with
+    | Config.Ft ->
+      let r, synthesis_s =
+        Report.timed (fun () ->
+            Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers)
+      in
+      let (c, pstats), peephole_s = peephole r.Emit.circuit in
+      ( c,
+        r.Emit.rotations,
+        None,
+        None,
+        {
+          Report.schedule_s;
+          synthesis_s;
+          swap_decompose_s = 0.;
+          peephole_s;
+          counters =
+            {
+              Report.sched_layers;
+              sched_padded;
+              sc_swaps = 0;
+              peephole_removed = pstats.Peephole.removed;
+              peephole_rounds = pstats.Peephole.rounds;
+            };
+        } )
+    | Config.Sc { coupling; noise } ->
+      let r, synthesis_s =
+        Report.timed (fun () ->
+            Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
+              layers)
+      in
+      let c, swap_decompose_s =
+        Report.timed (fun () -> Circuit.decompose_swaps r.Sc_backend.circuit)
+      in
+      let (c, pstats), peephole_s = peephole c in
+      ( c,
+        r.Sc_backend.rotations,
+        Some r.Sc_backend.initial_layout,
+        Some r.Sc_backend.final_layout,
+        {
+          Report.schedule_s;
+          synthesis_s;
+          swap_decompose_s;
+          peephole_s;
+          counters =
+            {
+              Report.sched_layers;
+              sched_padded;
+              sc_swaps = r.Sc_backend.swaps;
+              peephole_removed = pstats.Peephole.removed;
+              peephole_rounds = pstats.Peephole.rounds;
+            };
+        } )
+    | Config.Ion_trap ->
+      (* native lowering already interleaves its own cleanup passes *)
+      let r, synthesis_s =
+        Report.timed (fun () ->
+            Ion_trap.synthesize ~n_qubits:(Program.n_qubits prog) layers)
+      in
+      ( r.Emit.circuit,
+        r.Emit.rotations,
+        None,
+        None,
+        {
+          Report.schedule_s;
+          synthesis_s;
+          swap_decompose_s = 0.;
+          peephole_s = 0.;
+          counters =
+            { Report.empty_counters with Report.sched_layers; sched_padded };
+        } )
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
   {
     circuit;
     rotations;
     initial_layout;
     final_layout;
     metrics = Report.of_circuit ~seconds circuit;
+    trace;
   }
 
 let compile_ft ?schedule prog = compile (Config.ft ?schedule ()) prog

@@ -21,6 +21,8 @@ type output = {
   initial_layout : Layout.t option;  (** SC backend only *)
   final_layout : Layout.t option;
   metrics : Report.metrics;
+  trace : Report.trace;
+      (** per-stage wall-clock timings and pass counters of this compile *)
 }
 
 (** [compile config program]. *)

@@ -5,13 +5,16 @@
     - {!Config} — scheduler / backend / cleanup selection.
     - {!Pipelines} — the evaluation's end-to-end configurations
       (Paulihedral, t|ket⟩-style, naive, QAOA-specific).
-    - {!Report} — gate-count / depth metrics and table helpers.
+    - {!Report} — gate-count / depth metrics, per-pass telemetry and
+      table helpers.
+    - {!Json} — dependency-free JSON tree for the bench reports.
 
     The underlying subsystem libraries ([Ph_pauli], [Ph_pauli_ir],
     [Ph_schedule], [Ph_synthesis], [Ph_hardware], [Ph_baselines],
     [Ph_verify]) are regular dependencies and can be used directly. *)
 
 module Config = Config
+module Json = Json
 module Report = Report
 module Compiler = Compiler
 module Pipelines = Pipelines

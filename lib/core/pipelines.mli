@@ -15,6 +15,9 @@ type run = {
   initial_layout : Layout.t option;
   final_layout : Layout.t option;
   metrics : Report.metrics;
+  trace : Report.trace;
+      (** per-stage timings and pass counters; baseline pipelines fill
+          the synthesis/peephole stages and leave scheduling at zero *)
 }
 
 (** Paulihedral on the FT backend ([schedule] defaults to GCO). *)

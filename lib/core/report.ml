@@ -40,3 +40,121 @@ let pp_row fmt name cols =
 let pp_metrics fmt m =
   Format.fprintf fmt "cnot=%d single=%d total=%d depth=%d (%.2fs)" m.cnot m.single
     m.total m.depth m.seconds
+
+(* ---------- per-pass telemetry ---------- *)
+
+type pass_counters = {
+  sched_layers : int;
+  sched_padded : int;
+  sc_swaps : int;
+  peephole_removed : int;
+  peephole_rounds : int;
+}
+
+type trace = {
+  schedule_s : float;
+  synthesis_s : float;
+  swap_decompose_s : float;
+  peephole_s : float;
+  counters : pass_counters;
+}
+
+let empty_counters =
+  {
+    sched_layers = 0;
+    sched_padded = 0;
+    sc_swaps = 0;
+    peephole_removed = 0;
+    peephole_rounds = 0;
+  }
+
+let empty_trace =
+  {
+    schedule_s = 0.;
+    synthesis_s = 0.;
+    swap_decompose_s = 0.;
+    peephole_s = 0.;
+    counters = empty_counters;
+  }
+
+type record = {
+  bench : string;
+  config : string;
+  qubits : int;
+  paulis : int;
+  metrics : metrics;
+  trace : trace;
+}
+
+let counters_to_json (c : pass_counters) =
+  Json.Obj
+    [
+      "sched_layers", Json.Int c.sched_layers;
+      "sched_padded", Json.Int c.sched_padded;
+      "sc_swaps", Json.Int c.sc_swaps;
+      "peephole_removed", Json.Int c.peephole_removed;
+      "peephole_rounds", Json.Int c.peephole_rounds;
+    ]
+
+let trace_to_json (t : trace) =
+  Json.Obj
+    [
+      "schedule_s", Json.Float t.schedule_s;
+      "synthesis_s", Json.Float t.synthesis_s;
+      "swap_decompose_s", Json.Float t.swap_decompose_s;
+      "peephole_s", Json.Float t.peephole_s;
+      "counters", counters_to_json t.counters;
+    ]
+
+let record_to_json (r : record) =
+  Json.Obj
+    [
+      "bench", Json.String r.bench;
+      "config", Json.String r.config;
+      "qubits", Json.Int r.qubits;
+      "paulis", Json.Int r.paulis;
+      "cnot", Json.Int r.metrics.cnot;
+      "single", Json.Int r.metrics.single;
+      "total", Json.Int r.metrics.total;
+      "depth", Json.Int r.metrics.depth;
+      "seconds", Json.Float r.metrics.seconds;
+      "trace", trace_to_json r.trace;
+    ]
+
+let counters_of_json j =
+  let int k = Json.to_int (Json.get k j) in
+  {
+    sched_layers = int "sched_layers";
+    sched_padded = int "sched_padded";
+    sc_swaps = int "sc_swaps";
+    peephole_removed = int "peephole_removed";
+    peephole_rounds = int "peephole_rounds";
+  }
+
+let trace_of_json j =
+  let f k = Json.to_float (Json.get k j) in
+  {
+    schedule_s = f "schedule_s";
+    synthesis_s = f "synthesis_s";
+    swap_decompose_s = f "swap_decompose_s";
+    peephole_s = f "peephole_s";
+    counters = counters_of_json (Json.get "counters" j);
+  }
+
+let record_of_json j =
+  let int k = Json.to_int (Json.get k j) in
+  {
+    bench = Json.to_str (Json.get "bench" j);
+    config = Json.to_str (Json.get "config" j);
+    qubits = int "qubits";
+    paulis = int "paulis";
+    metrics =
+      {
+        cnot = int "cnot";
+        single = int "single";
+        total = int "total";
+        depth = int "depth";
+        seconds = Json.to_float (Json.get "seconds" j);
+      };
+    trace = trace_of_json (Json.get "trace" j);
+  }

@@ -1,5 +1,6 @@
 (** The evaluation's metrics (CNOT / single-qubit / total gate counts and
-    circuit depth, Section 6.1) plus table-formatting helpers. *)
+    circuit depth, Section 6.1), per-pass telemetry, and table/JSON
+    formatting helpers. *)
 
 open Ph_gatelevel
 
@@ -28,3 +29,53 @@ val geomean : float list -> float
 val pp_row : Format.formatter -> string -> string list -> unit
 
 val pp_metrics : Format.formatter -> metrics -> unit
+
+(** {1 Per-pass telemetry}
+
+    Counters are owned by the passes themselves
+    ([Ph_schedule.Depth_oriented.schedule_stats],
+    [Ph_synthesis.Sc_backend] result, [Ph_gatelevel.Peephole.optimize_stats])
+    and collected into a {!trace} by [Compiler.compile]; zero means the
+    pass did not run in the chosen configuration. *)
+
+type pass_counters = {
+  sched_layers : int;  (** layers formed by the scheduling pass *)
+  sched_padded : int;  (** padding blocks packed by depth-oriented scheduling *)
+  sc_swaps : int;  (** SWAPs inserted by the SC backend (pre-decomposition) *)
+  peephole_removed : int;  (** gates removed (cancelled + merged) by peephole *)
+  peephole_rounds : int;  (** peephole passes until fixpoint *)
+}
+
+(** Per-stage wall-clock timings of one compile, plus the counters. *)
+type trace = {
+  schedule_s : float;
+  synthesis_s : float;
+  swap_decompose_s : float;
+  peephole_s : float;
+  counters : pass_counters;
+}
+
+val empty_counters : pass_counters
+val empty_trace : trace
+
+(** One row of a machine-readable bench report: benchmark × config
+    identity, program size, end metrics and the per-stage trace. *)
+type record = {
+  bench : string;
+  config : string;
+  qubits : int;
+  paulis : int;
+  metrics : metrics;
+  trace : trace;
+}
+
+val counters_to_json : pass_counters -> Json.t
+val trace_to_json : trace -> Json.t
+val record_to_json : record -> Json.t
+
+(** Inverses of the encoders, for [bench compare].
+    @raise Json.Parse_error on schema mismatch. *)
+
+val trace_of_json : Json.t -> trace
+
+val record_of_json : Json.t -> record

@@ -15,26 +15,48 @@ let merge a b =
 
 (* One pass.  [slots] holds live gates; for the incoming gate [g] we walk
    backwards over live slots, skipping gates that commute with [g], until
-   we hit a cancellation/merge partner or a blocking gate. *)
+   we hit a cancellation/merge partner or a blocking gate.
+
+   Live slots are chained through [prev] (index of the nearest earlier
+   live slot, or -1) so every step of the walk lands on an occupied slot:
+   without the chain, cancel-heavy circuits leave long runs of emptied
+   [None] slots that each walk re-scans — and since emptied slots never
+   counted against [window], the pass degenerated to O(m²).  The window
+   semantics is unchanged: only visited live slots count as steps. *)
 let cancel_once ?(window = 400) circuit =
   let gs = Circuit.gates circuit in
   let m = Array.length gs in
   let slots = Array.make m None in
+  let prev = Array.make m (-1) in
+  let last = ref (-1) in
   let removed = ref 0 in
+  (* Drop live slot [j]; [succ] is the live slot the walk visited just
+     after [j] (-1 when [j] is the chain head). *)
+  let unlink ~succ j =
+    if succ < 0 then last := prev.(j) else prev.(succ) <- prev.(j)
+  in
+  let place i g =
+    slots.(i) <- Some g;
+    prev.(i) <- !last;
+    last := i
+  in
   for i = 0 to m - 1 do
     let g = gs.(i) in
     if zero_rotation g then incr removed
     else begin
       let placed = ref false in
       let steps = ref 0 in
-      let j = ref (i - 1) in
+      let j = ref !last in
+      let succ = ref (-1) in
       while (not !placed) && !j >= 0 && !steps < window do
-        (match slots.(!j) with
-        | None -> ()
+        let jj = !j in
+        (match slots.(jj) with
+        | None -> assert false
         | Some h ->
           incr steps;
           if Gate.cancels h g then begin
-            slots.(!j) <- None;
+            slots.(jj) <- None;
+            unlink ~succ:!succ jj;
             removed := !removed + 2;
             placed := true
           end
@@ -42,33 +64,41 @@ let cancel_once ?(window = 400) circuit =
             match merge h g with
             | Some merged ->
               if zero_rotation merged then begin
-                slots.(!j) <- None;
+                slots.(jj) <- None;
+                unlink ~succ:!succ jj;
                 removed := !removed + 2
               end
               else begin
-                slots.(!j) <- Some merged;
+                slots.(jj) <- Some merged;
                 incr removed
               end;
               placed := true
             | None ->
               if not (Gate.commutes h g) then begin
-                slots.(i) <- Some g;
+                place i g;
                 placed := true
               end);
-        decr j
+        succ := jj;
+        j := prev.(jj)
       done;
-      if not !placed then slots.(i) <- Some g
+      if not !placed then place i g
     end
   done;
   let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
   Array.iter (function Some g -> Circuit.Builder.add b g | None -> ()) slots;
   Circuit.Builder.to_circuit b, !removed
 
-let optimize ?window ?(max_rounds = 20) circuit =
-  let rec go c round =
-    if round >= max_rounds then c
+type stats = { removed : int; rounds : int }
+
+let optimize_stats ?window ?(max_rounds = 20) circuit =
+  let rec go c total round =
+    if round >= max_rounds then c, { removed = total; rounds = round }
     else
       let c', removed = cancel_once ?window c in
-      if removed = 0 then c' else go c' (round + 1)
+      if removed = 0 then c', { removed = total; rounds = round + 1 }
+      else go c' (total + removed) (round + 1)
   in
-  go circuit 0
+  go circuit 0 0
+
+let optimize ?window ?max_rounds circuit =
+  fst (optimize_stats ?window ?max_rounds circuit)

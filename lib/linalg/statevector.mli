@@ -48,4 +48,7 @@ val inner : t -> t -> Cplx.t
     [rand] must return a uniform float in [0, 1). *)
 val sample : t -> rand:(unit -> float) -> int
 
+(** [equal_up_to_phase ?eps a b] — |⟨a|b⟩| = ‖a‖·‖b‖ up to a tolerance of
+    [eps · dim] (FP error in the inner product grows with dimension;
+    default [eps] is 1e-8 per dimension). *)
 val equal_up_to_phase : ?eps:float -> t -> t -> bool

@@ -11,6 +11,8 @@
     identifier resolved through the [params] environment.  Blocks are
     separated by [;].  [//] starts a line comment. *)
 
+(** Raised on malformed input; the message starts with the 1-based
+    [line L, column C:] source position of the offending token. *)
 exception Parse_error of string
 
 (** [parse ?params src] parses a program.  Identifier parameters are

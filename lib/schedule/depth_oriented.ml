@@ -6,7 +6,9 @@ open Ph_pauli_ir
    poor candidates anyway. *)
 let scan_window = 512
 
-let schedule ?rank ?(padding = true) prog =
+type stats = { layers : int; padded : int }
+
+let schedule_stats ?rank ?(padding = true) prog =
   let blocks =
     List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
     |> List.stable_sort (fun a b ->
@@ -45,6 +47,7 @@ let schedule ?rank ?(padding = true) prog =
     done
   in
   let layers = ref [] in
+  let n_padded = ref 0 in
   while !n_alive > 0 do
     (* Leader: best overlap with the previous layer's tail strings. *)
     let leader_idx =
@@ -90,12 +93,16 @@ let schedule ?rank ?(padding = true) prog =
       List.iter
         (fun i ->
           chosen := blocks.(i) :: !chosen;
+          incr n_padded;
           take i)
         (List.rev !picked)
     end;
     layers := Layer.make (List.rev !chosen) :: !layers
   done;
-  List.rev !layers
+  let layers = List.rev !layers in
+  layers, { layers = List.length layers; padded = !n_padded }
+
+let schedule ?rank ?padding prog = fst (schedule_stats ?rank ?padding prog)
 
 let run ?rank ?padding prog =
   Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank ?padding prog)

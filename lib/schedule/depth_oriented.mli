@@ -9,9 +9,18 @@
 
 open Ph_pauli_ir
 
+(** Telemetry of one scheduling run: [layers] formed and small [padded]
+    blocks packed alongside a leader ([layers + padded] equals the
+    program's block count). *)
+type stats = { layers : int; padded : int }
+
 (** [schedule ?padding p] — set [padding:false] to ablate Algorithm 1's
     lines 7–10 (every layer is then a single block, but in DO order). *)
 val schedule :
   ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Layer.t list
+
+(** {!schedule} returning its {!stats}. *)
+val schedule_stats :
+  ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Layer.t list * stats
 
 val run : ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Program.t

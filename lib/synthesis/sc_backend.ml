@@ -9,6 +9,7 @@ type result = {
   rotations : (Pauli_string.t * float) list;
   initial_layout : Layout.t;
   final_layout : Layout.t;
+  swaps : int;
 }
 
 let swap_cost noise a b =
@@ -127,7 +128,7 @@ let tree_depths parents root =
    child into parent), the rotation at the root, and the mirrored cone.
    No SWAP separates the two cones, so the mirror is exact and every
    gate lies on a tree edge of the coupling map. *)
-let emit_string_on_tree builder layout parents root ~phys_ops ~theta =
+let emit_string_on_tree builder layout parents root ~swap_count ~phys_ops ~theta =
   let depth = tree_depths parents root in
   let holders =
     Hashtbl.fold (fun p op acc -> (p, op) :: acc) phys_ops []
@@ -146,6 +147,7 @@ let emit_string_on_tree builder layout parents root ~phys_ops ~theta =
         while !pos <> root && not (Hashtbl.mem settled parents.(!pos)) do
           let np = parents.(!pos) in
           Circuit.Builder.add builder (Gate.Swap (!pos, np));
+          incr swap_count;
           Layout.swap_physical layout !pos np;
           pos := np
         done;
@@ -199,7 +201,7 @@ let select_root coupling layout policy candidates =
 (* Synthesize one block: route its active qubits together (respecting
    [avoid]), embed the BFS tree, emit every string.  Returns false when
    routing failed under [avoid]. *)
-let synthesize_block coupling noise layout builder rotations policy ~avoid blk =
+let synthesize_block coupling noise layout builder rotations policy ~swap_count ~avoid blk =
   let actives = Block.active_qubits blk in
   if actives = [] then true
   else begin
@@ -209,6 +211,7 @@ let synthesize_block coupling noise layout builder rotations policy ~avoid blk =
     | None -> false
     | Some swaps ->
       Circuit.Builder.add_list builder swaps;
+      swap_count := !swap_count + List.length swaps;
       (* Strings inside a block may be reordered freely (the IR's
          semantics is commutative within a pauli_str_list).  Greedy loop:
          whenever some string's support occupies a connected region it is
@@ -273,6 +276,7 @@ let synthesize_block coupling noise layout builder rotations policy ~avoid blk =
           |> Option.get
         in
         Circuit.Builder.add builder (Gate.Swap (a, first));
+        incr swap_count;
         Layout.swap_physical layout a first
       in
       let remaining =
@@ -295,7 +299,7 @@ let synthesize_block coupling noise layout builder rotations policy ~avoid blk =
           |> Option.get |> snd
         in
         let parents = Coupling.bfs_tree coupling ~root:root_phys ~nodes in
-        emit_string_on_tree builder layout parents root_phys
+        emit_string_on_tree builder layout parents root_phys ~swap_count
           ~phys_ops:(phys_ops_of layout t.str) ~theta;
         rotations := (t.str, theta) :: !rotations
       in
@@ -366,13 +370,14 @@ let synthesize ?noise ?(root_policy = `Largest_component) ~coupling ~n_qubits la
   let initial_layout = Layout.copy layout in
   let builder = Circuit.Builder.create (Coupling.n_qubits coupling) in
   let rotations = ref [] in
+  let swap_count = ref 0 in
   let remains = ref [] in
   List.iter
     (fun layer ->
       let leader = Layer.leader layer in
       let ok =
         synthesize_block coupling noise layout builder rotations root_policy
-          ~avoid:[] leader
+          ~swap_count ~avoid:[] leader
       in
       if not ok then remains := leader :: !remains
       else begin
@@ -383,7 +388,7 @@ let synthesize ?noise ?(root_policy = `Largest_component) ~coupling ~n_qubits la
           (fun small ->
             let ok =
               synthesize_block coupling noise layout builder rotations root_policy
-                ~avoid:!committed small
+                ~swap_count ~avoid:!committed small
             in
             if ok then
               committed :=
@@ -409,7 +414,7 @@ let synthesize ?noise ?(root_policy = `Largest_component) ~coupling ~n_qubits la
       remains := List.filter (fun b -> b != blk) !remains;
       let ok =
         synthesize_block coupling noise layout builder rotations root_policy
-          ~avoid:[] blk
+          ~swap_count ~avoid:[] blk
       in
       if not ok then invalid_arg "Sc_backend.synthesize: routing failed"
   done;
@@ -418,4 +423,5 @@ let synthesize ?noise ?(root_policy = `Largest_component) ~coupling ~n_qubits la
     rotations = List.rev !rotations;
     initial_layout;
     final_layout = layout;
+    swaps = !swap_count;
   }

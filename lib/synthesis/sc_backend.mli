@@ -25,6 +25,9 @@ type result = {
       (** logical rotation trace, emission order *)
   initial_layout : Layout.t;
   final_layout : Layout.t;
+  swaps : int;
+      (** SWAPs inserted (routing, settle climbs and hops) — equals the
+          number of [Swap] gates in [circuit] before decomposition *)
 }
 
 (** [synthesize ~coupling ~n_qubits layers].  [noise] guides

@@ -34,6 +34,63 @@ let test_report_helpers () =
   check_int "timed result" 42 r;
   check "time non-negative" true (dt >= 0.)
 
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        "name", Json.String "bench";
+        "count", Json.Int 42;
+        "ratio", Json.Float 0.125;
+        "flag", Json.Bool true;
+        "nothing", Json.Null;
+        "items", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x"; Json.Bool false ];
+        "empty_list", Json.List [];
+        "empty_obj", Json.Obj [];
+      ]
+  in
+  check "compact roundtrip" true (Json.parse (Json.to_string v) = v);
+  check "indented roundtrip" true (Json.parse (Json.to_string ~indent:true v) = v);
+  (* Float survives as Float even when integral-valued *)
+  check "integral float stays float" true
+    (Json.parse (Json.to_string (Json.Float 3.)) = Json.Float 3.)
+
+let test_json_escapes () =
+  let s = "quote\" backslash\\ newline\n tab\t ctrl\x01 end" in
+  let encoded = Json.to_string (Json.String s) in
+  Alcotest.(check string) "escaped encoding"
+    "\"quote\\\" backslash\\\\ newline\\n tab\\t ctrl\\u0001 end\"" encoded;
+  check "escape roundtrip" true (Json.parse encoded = Json.String s);
+  check "non-finite floats encode as null" true
+    (Json.to_string (Json.Float Float.nan) = "null"
+    && Json.to_string (Json.Float infinity) = "null")
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.parse s with exception Json.Parse_error _ -> true | _ -> false
+  in
+  check "truncated object" true (fails "{\"a\": 1");
+  check "trailing garbage" true (fails "[1, 2] x");
+  check "bare word" true (fails "flase")
+
+let test_record_roundtrip () =
+  let out = Compiler.compile (Config.ft ()) sample_program in
+  let r =
+    {
+      Report.bench = "sample";
+      config = "ft/gco";
+      qubits = Program.n_qubits sample_program;
+      paulis = Program.term_count sample_program;
+      metrics = out.Compiler.metrics;
+      trace = out.Compiler.trace;
+    }
+  in
+  let r' = Report.record_of_json (Json.parse (Json.to_string ~indent:true (Report.record_to_json r))) in
+  check "bench/config survive" true (r'.Report.bench = r.Report.bench && r'.Report.config = r.Report.config);
+  check "counters survive" true (r'.Report.trace.Report.counters = r.Report.trace.Report.counters);
+  check_int "total survives" r.Report.metrics.Report.total r'.Report.metrics.Report.total
+
 (* --- Compiler --- *)
 
 let test_compile_ft () =
@@ -71,6 +128,37 @@ let test_peephole_toggle () =
   let off = Compiler.compile { (Config.ft ()) with Config.peephole = false } sample_program in
   check "peephole never increases gates" true
     (on.Compiler.metrics.Report.total <= off.Compiler.metrics.Report.total)
+
+let test_compile_trace () =
+  let cfg = Config.ft ~schedule:Config.Depth_oriented () in
+  let out = Compiler.compile cfg sample_program in
+  let t = out.Compiler.trace in
+  check "stage timings non-negative" true
+    (t.Report.schedule_s >= 0.
+    && t.Report.synthesis_s >= 0.
+    && t.Report.swap_decompose_s >= 0.
+    && t.Report.peephole_s >= 0.);
+  let c = t.Report.counters in
+  (* DO places every block exactly once: one leader per layer, the rest
+     as padding *)
+  check "layers formed" true (c.Report.sched_layers > 0);
+  check_int "leaders + padded cover the program"
+    (Program.block_count sample_program)
+    (c.Report.sched_layers + c.Report.sched_padded);
+  check "peephole ran to fixpoint" true (c.Report.peephole_rounds >= 1);
+  check_int "no SWAPs on FT" 0 c.Report.sc_swaps;
+  let off = Compiler.compile { cfg with Config.peephole = false } sample_program in
+  check_int "peephole removed = gate-count delta"
+    (off.Compiler.metrics.Report.total - out.Compiler.metrics.Report.total)
+    c.Report.peephole_removed;
+  check_int "peephole off reports no removals" 0
+    off.Compiler.trace.Report.counters.Report.peephole_removed
+
+let test_compile_trace_sc () =
+  let out = Compiler.compile_sc ~coupling:(Devices.line 5) sample_program in
+  let c = out.Compiler.trace.Report.counters in
+  check "sc swap counter populated" true (c.Report.sc_swaps >= 0);
+  check "layers formed" true (c.Report.sched_layers > 0)
 
 (* --- Pipelines --- *)
 
@@ -134,12 +222,21 @@ let () =
           Alcotest.test_case "metrics" `Quick test_report_metrics;
           Alcotest.test_case "helpers" `Quick test_report_helpers;
         ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+        ] );
       ( "compiler",
         [
           Alcotest.test_case "ft" `Quick test_compile_ft;
           Alcotest.test_case "sc" `Quick test_compile_sc;
           Alcotest.test_case "schedules" `Quick test_compile_schedules_differ;
           Alcotest.test_case "peephole toggle" `Quick test_peephole_toggle;
+          Alcotest.test_case "trace telemetry" `Quick test_compile_trace;
+          Alcotest.test_case "trace telemetry (sc)" `Quick test_compile_trace_sc;
         ] );
       ( "pipelines",
         [

@@ -164,6 +164,59 @@ let test_peephole_merge () =
   let z = Circuit.of_gates 1 [ Gate.Rx (0.1, 0); Gate.Rx (-0.1, 0) ] in
   check_int "zero rotation removed" 0 (Circuit.length (Peephole.optimize z))
 
+let test_peephole_stats_consistent () =
+  let c =
+    Circuit.of_gates 2
+      [
+        Gate.H 0; Gate.H 0;               (* cancel: -2 *)
+        Gate.Rz (0.1, 0); Gate.Rz (0.2, 0); (* merge: -1 *)
+        Gate.Rx (1e-14, 1);               (* zero rotation: -1 *)
+        Gate.Cnot (0, 1);
+      ]
+  in
+  let o, stats = Peephole.optimize_stats c in
+  Alcotest.(check int) "removed = gate-count delta"
+    (Circuit.length c - Circuit.length o)
+    stats.Peephole.removed;
+  check "at least one round" true (stats.Peephole.rounds >= 1);
+  (* the counter must agree with the delta on any input *)
+  let c2 = Circuit.of_gates 2 [ Gate.S 0; Gate.Sdg 0; Gate.X 1; Gate.X 1; Gate.H 0 ] in
+  let o2, stats2 = Peephole.optimize_stats c2 in
+  Alcotest.(check int) "removed = delta (second circuit)"
+    (Circuit.length c2 - Circuit.length o2)
+    stats2.Peephole.removed
+
+let test_peephole_cancel_heavy_linear () =
+  (* Regression for the O(m²) backward scan: a long run of self-cancelling
+     gates leaves every slot empty, and the old scan re-walked all those
+     empty slots (uncounted against the window) for each incoming gate.
+     With live slots linked, this optimizes in one cancel_once pass in
+     linear time — at this size the quadratic scan took ~10^10 slot
+     visits and effectively hung. *)
+  let m = 200_000 in
+  let c = Circuit.of_gates 1 (List.init m (fun _ -> Gate.X 0)) in
+  let o, removed = Peephole.cancel_once c in
+  Alcotest.(check int) "everything cancels in one pass" 0 (Circuit.length o);
+  Alcotest.(check int) "removed counts both partners" m removed
+
+let test_peephole_window_semantics () =
+  (* Only live (occupied) slots count against the window: with window 2,
+     a partner two live gates back is still found even across a pile of
+     cancelled slots, but three commuting live gates block the search. *)
+  let reachable =
+    Circuit.of_gates 3
+      ([ Gate.H 0 ] @ List.concat (List.init 50 (fun _ -> [ Gate.X 1; Gate.X 1 ]))
+      @ [ Gate.Rz (0.3, 2); Gate.H 0 ])
+  in
+  Alcotest.(check int) "partner found across emptied slots" 1
+    (Circuit.length (fst (Peephole.cancel_once ~window:2 reachable)));
+  let blocked =
+    Circuit.of_gates 4
+      [ Gate.H 0; Gate.Rz (0.1, 1); Gate.Rz (0.1, 2); Gate.Rz (0.1, 3); Gate.H 0 ]
+  in
+  Alcotest.(check int) "window still bounds live steps" 5
+    (Circuit.length (fst (Peephole.cancel_once ~window:2 blocked)))
+
 let prop_peephole_preserves_unitary =
   let gen_gate =
     QCheck.Gen.(
@@ -332,6 +385,9 @@ let () =
           Alcotest.test_case "inverse pairs" `Quick test_peephole_pairs;
           Alcotest.test_case "commutation-aware" `Quick test_peephole_commuting;
           Alcotest.test_case "rotation merging" `Quick test_peephole_merge;
+          Alcotest.test_case "stats match gate delta" `Quick test_peephole_stats_consistent;
+          Alcotest.test_case "cancel-heavy linear scan" `Quick test_peephole_cancel_heavy_linear;
+          Alcotest.test_case "window counts live slots" `Quick test_peephole_window_semantics;
           qcheck prop_peephole_preserves_unitary;
         ] );
     ]

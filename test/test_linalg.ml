@@ -115,6 +115,33 @@ let test_phase_equal () =
   check "different states" false
     (Statevector.equal_up_to_phase a (Statevector.basis 2 2))
 
+let test_phase_equal_large () =
+  (* 12 qubits (dim 4096) is the largest verifier size.  H on every qubit
+     gives 4096 uniform amplitudes, so the inner product accumulates
+     rounding from thousands of products; the per-dimension tolerance
+     (1e-8 · 4096 ≈ 4.1e-5) must tolerate a negligible coherent
+     perturbation — ⟨+|Rz(1e-3)|+⟩ deviates by θ²/8 ≈ 1.25e-7, which a
+     fixed 1e-8 cutoff spuriously rejected — while still catching a real
+     rotation (Rz(0.2) deviates by ≈5e-3). *)
+  let n = 12 in
+  let a = Statevector.zero n and b = Statevector.zero n in
+  for q = 0 to n - 1 do
+    Statevector.apply1 a q hadamard;
+    Statevector.apply1 b q hadamard
+  done;
+  let p = Cplx.exp_i 0.7 in
+  Statevector.apply1 b 0 [| p; Cplx.zero; Cplx.zero; p |];
+  check "12q equal up to global phase" true (Statevector.equal_up_to_phase a b);
+  let rz theta : Cplx.t array =
+    [| Cplx.exp_i (-.theta /. 2.); Cplx.zero; Cplx.zero; Cplx.exp_i (theta /. 2.) |]
+  in
+  let b' = Statevector.copy b in
+  Statevector.apply1 b' 3 (rz 1e-3);
+  check "negligible perturbation tolerated" true (Statevector.equal_up_to_phase a b');
+  let b'' = Statevector.copy b in
+  Statevector.apply1 b'' 3 (rz 0.2);
+  check "real rotation still detected" false (Statevector.equal_up_to_phase a b'')
+
 let test_apply_rzz () =
   (* exp(-iθ/2 ZZ) phases: |00>,|11> get e^{-iθ/2}; |01>,|10> e^{+iθ/2} *)
   let theta = 0.83 in
@@ -161,6 +188,7 @@ let () =
           Alcotest.test_case "cz" `Quick test_cz;
           Alcotest.test_case "sampling" `Quick test_sample;
           Alcotest.test_case "phase equality" `Quick test_phase_equal;
+          Alcotest.test_case "phase equality at 12 qubits" `Quick test_phase_equal_large;
           Alcotest.test_case "rzz rotation" `Quick test_apply_rzz;
           qcheck prop_apply1_norm;
         ] );

@@ -189,6 +189,28 @@ let test_parse_errors () =
     | _ -> true
     | exception Parser.Parse_error _ -> false)
 
+let test_parse_error_positions () =
+  let message s =
+    match Parser.parse s with
+    | exception Parser.Parse_error msg -> msg
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  Alcotest.(check string) "missing ';' reported at next block"
+    "line 2, column 1: expected ';' between blocks, got '{'"
+    (message "{(ZZ, 1.0), 0.3}\n{(XX, 1.0), 0.2};");
+  Alcotest.(check string) "bad Pauli letters located mid-line"
+    "line 1, column 14: expected Pauli string, got \"QQ\""
+    (message "{(ZZ, 1.0), (QQ, 2.0), 0.1};");
+  Alcotest.(check string) "comment lines advance the position"
+    "line 2, column 12: expected ',' after term, got number"
+    (message "// comment\n{(ZZ, 1.0) 0.3};");
+  Alcotest.(check string) "truncated input points past the end"
+    "line 1, column 16: unexpected end of input"
+    (message "{(ZZ, 1.0), 0.1");
+  Alcotest.(check string) "unbound parameter names the identifier"
+    "line 1, column 13: unbound parameter \"omega\""
+    (message "{(ZZ, 1.0), omega};")
+
 let test_parse_numeric_forms () =
   let prog = Parser.parse "{(ZZ, 1e-3), 2.5e2}; {(XX, -0.5), -1.25};" in
   match Program.rotations prog with
@@ -291,6 +313,7 @@ let () =
           Alcotest.test_case "H2 example" `Quick test_parse_h2;
           Alcotest.test_case "multi-term blocks" `Quick test_parse_multi_term_block;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_parse_error_positions;
           Alcotest.test_case "numeric forms" `Quick test_parse_numeric_forms;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
         ] );

@@ -102,6 +102,25 @@ let test_do_padding_ablation () =
   check "no padding when ablated" true
     (List.for_all (fun l -> List.length l.Layer.blocks = 1) layers)
 
+let test_do_stats () =
+  let big =
+    Block.make
+      [ term "ZZZZIIII" 1.0; term "ZZZYIIII" 1.0; term "XZZXIIII" 1.0 ]
+      (Block.fixed 1.0)
+  in
+  let prog = prog_of [ big; single "IIIIIIZZ"; single "IIIIIIXX" ] in
+  let layers, stats = Depth_oriented.schedule_stats prog in
+  Alcotest.(check int) "stats.layers = layer count"
+    (List.length layers) stats.Depth_oriented.layers;
+  (* every block is placed exactly once: one leader per layer, the rest
+     as padding *)
+  Alcotest.(check int) "leaders + padded cover the program"
+    (Program.block_count prog)
+    (stats.Depth_oriented.layers + stats.Depth_oriented.padded);
+  check "padding counted" true (stats.Depth_oriented.padded > 0);
+  let _, no_pad = Depth_oriented.schedule_stats ~padding:false prog in
+  Alcotest.(check int) "ablated padding counts zero" 0 no_pad.Depth_oriented.padded
+
 let test_do_respects_budget () =
   (* The small blocks' estimated depth must stay below the leader's. *)
   let big = Block.make [ term "ZZZIII" 1.0 ] (Block.fixed 1.0) in
@@ -244,6 +263,7 @@ let () =
           Alcotest.test_case "pads disjoint blocks" `Quick test_do_pads_disjoint_blocks;
           Alcotest.test_case "padding ablation" `Quick test_do_padding_ablation;
           Alcotest.test_case "depth budget" `Quick test_do_respects_budget;
+          Alcotest.test_case "stats cover the program" `Quick test_do_stats;
           qcheck prop_do_permutation;
           qcheck prop_do_layers_disjoint;
         ] );

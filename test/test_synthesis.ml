@@ -255,6 +255,34 @@ let test_sc_scale_manhattan () =
     (Pauli_frame.verify_sc ~circuit:r.circuit ~trace:r.rotations
        ~initial:r.initial_layout ~final:r.final_layout)
 
+let test_sc_swap_counter () =
+  (* The telemetry counter must equal the SWAPs actually present in the
+     emitted circuit, before decompose_swaps rewrites them into CNOTs. *)
+  let count_swaps c =
+    Array.fold_left
+      (fun n g -> match g with Gate.Swap _ -> n + 1 | _ -> n)
+      0 (Circuit.gates c)
+  in
+  let check_prog prog coupling n_qubits =
+    let layers = Depth_oriented.schedule prog in
+    let r = Sc_backend.synthesize ~coupling ~n_qubits layers in
+    Alcotest.(check int) "swaps counter matches emitted SWAPs"
+      (count_swaps r.circuit) r.swaps
+  in
+  check_prog
+    (program_of_strings 8
+       [ "ZZZZIIII", 1.0; "IIIIIZZI", 0.5; "IIIIIIZZ", 0.4; "ZZZYIIII", 0.8 ])
+    (Devices.grid 2 4) 8;
+  (* a long-range string on a line forces routing, so the counter is
+     exercised on a circuit that genuinely contains SWAPs *)
+  let r =
+    Sc_backend.synthesize ~coupling:(Devices.line 5) ~n_qubits:5
+      (Depth_oriented.schedule (program_of_strings 5 [ "ZIIIZ", 1.0; "XIXIX", 0.7 ]))
+  in
+  Alcotest.(check int) "swaps counter matches on routed circuit"
+    (count_swaps r.circuit) r.swaps;
+  check "routing produced swaps" true (r.swaps > 0)
+
 let test_ft_cancellation_across_padding () =
   (* Two near-identical wide strings separated by a disjoint small one:
      the partner search skips the padding and junction cancellation still
@@ -312,6 +340,7 @@ let () =
           qcheck prop_sc_coupling_respected;
           Alcotest.test_case "parallel small blocks" `Quick test_sc_parallel_small_blocks;
           Alcotest.test_case "20q on manhattan" `Quick test_sc_scale_manhattan;
+          Alcotest.test_case "swap counter" `Quick test_sc_swap_counter;
           Alcotest.test_case "cancellation across padding" `Quick
             test_ft_cancellation_across_padding;
         ] );
