@@ -429,7 +429,7 @@ let load_records path =
   close_in ic;
   List.map Report.record_of_json (Json.to_list (Json.parse s))
 
-let compare_reports a_path b_path =
+let compare_reports ?fail_on a_path b_path =
   let load path =
     try load_records path
     with
@@ -490,8 +490,46 @@ let compare_reports a_path b_path =
     gm "total" !ratios_total;
     gm "depth" !ratios_depth;
     gm "time" !ratios_time;
-    0
+    match fail_on with
+    | None -> 0
+    | Some pct ->
+      (* Gate on the deterministic gate-count geomeans only — wall-clock
+         time is too noisy for a CI threshold. *)
+      let threshold = 1. +. (pct /. 100.) in
+      let regressed =
+        List.filter_map
+          (fun (name, rs) ->
+            if rs <> [] && Report.geomean rs > threshold then
+              Some (Printf.sprintf "%s %.3fx" name (Report.geomean rs))
+            else None)
+          [ "cnot", !ratios_cnot; "total", !ratios_total; "depth", !ratios_depth ]
+      in
+      if regressed = [] then begin
+        Printf.printf "regression gate: OK (threshold +%.1f%%)\n" pct;
+        0
+      end
+      else begin
+        Printf.printf "regression gate: FAILED (threshold +%.1f%%): %s\n" pct
+          (String.concat ", " regressed);
+        1
+      end
   end
+
+(* ---------- fuzz: property-testing smoke entry ---------- *)
+
+let fuzz_entry args =
+  let open Ph_fuzz in
+  let cases, seed =
+    match args with
+    | c :: s :: _ -> int_of_string c, int_of_string s
+    | [ c ] -> int_of_string c, 42
+    | [] -> 100, 42
+  in
+  let cfg = { (Runner.default_config ()) with Runner.cases; seed } in
+  let summary = Runner.run ~log:prerr_endline cfg in
+  Runner.print_summary summary;
+  Printf.eprintf "elapsed: %.2fs\n" summary.Runner.seconds;
+  exit (if Runner.failure_count summary = 0 then 0 else 2)
 
 (* ---------- driver ---------- *)
 
@@ -510,21 +548,30 @@ let experiments =
 let usage () =
   prerr_endline
     "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE]\n\
-    \       main.exe compare A.json B.json";
+    \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
+    \       main.exe fuzz [CASES] [SEED]";
   exit 1
 
 let () =
-  let rec extract_json acc = function
-    | "--json" :: path :: rest -> Some path, List.rev_append acc rest
-    | [ "--json" ] -> usage ()
-    | x :: rest -> extract_json (x :: acc) rest
+  let rec extract_opt key acc = function
+    | k :: v :: rest when k = key -> Some v, List.rev_append acc rest
+    | [ k ] when k = key -> usage ()
+    | x :: rest -> extract_opt key (x :: acc) rest
     | [] -> None, List.rev acc
   in
-  let json_path, args = extract_json [] (List.tl (Array.to_list Sys.argv)) in
+  let json_path, args = extract_opt "--json" [] (List.tl (Array.to_list Sys.argv)) in
+  let fail_on, args = extract_opt "--fail-on-regression" [] args in
+  let fail_on =
+    Option.map
+      (fun s ->
+        match float_of_string_opt s with Some f -> f | None -> usage ())
+      fail_on
+  in
   json_enabled := json_path <> None;
   (match args with
-  | "compare" :: a :: b :: _ -> exit (compare_reports a b)
+  | "compare" :: a :: b :: _ -> exit (compare_reports ?fail_on a b)
   | "compare" :: _ -> usage ()
+  | "fuzz" :: rest -> fuzz_entry rest
   | "timing" :: _ -> timing ()
   | name :: filters when List.mem_assoc name experiments ->
     (List.assoc name experiments) filters

@@ -14,10 +14,9 @@ open Cmdliner
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let parse_device spec =
   match String.split_on_char ':' spec with
@@ -182,12 +181,141 @@ let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
          ~doc:"Write the compiled circuit as OpenQASM 2.0.")
 
+let compile_term =
+  Term.(
+    const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
+    $ print_circuit_arg $ no_verify_arg $ json_arg $ output_arg)
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a Pauli IR source file (the default command).")
+    compile_term
+
+(* ---------- phc fuzz: differential fuzzing of all pipelines ---------- *)
+
+let run_fuzz cases seed backend device out_dir time_budget dense_limit max_qubits
+    no_metamorphic json_out =
+  let open Ph_fuzz in
+  match
+    let coupling =
+      if device = "auto" then Ok None
+      else Result.map Option.some (parse_device device)
+    in
+    Result.bind coupling (fun coupling ->
+        match backend with
+        | "all" -> Ok (coupling, Properties.default_pipelines ?coupling ())
+        | "ft" -> Ok (coupling, Properties.ft_pipelines ())
+        | "sc" -> Ok (coupling, Properties.sc_pipelines ?coupling ())
+        | b ->
+          Error (`Msg (Printf.sprintf "unknown backend %S (all | ft | sc)" b)))
+  with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok (coupling, pipelines) ->
+    let max_qubits =
+      match coupling with
+      | Some c -> min max_qubits (Ph_hardware.Coupling.n_qubits c)
+      | None -> max_qubits
+    in
+    let cfg =
+      {
+        (Runner.default_config ?coupling ()) with
+        Runner.cases;
+        seed;
+        time_budget_s = time_budget;
+        dense_limit;
+        max_qubits;
+        metamorphic = not no_metamorphic;
+        pipelines;
+        out_dir = (if out_dir = "" then None else Some out_dir);
+      }
+    in
+    let summary = Runner.run ~log:prerr_endline cfg in
+    if json_out then
+      print_endline (Json.to_string ~indent:true (Runner.summary_to_json summary))
+    else begin
+      Runner.print_summary summary;
+      Printf.eprintf "elapsed: %.2fs\n" summary.Runner.seconds
+    end;
+    if Runner.failure_count summary = 0 then 0 else 2
+
+let cases_arg =
+  Arg.(value & opt int 200 & info [ "cases"; "n" ] ~docv:"N"
+         ~doc:"Number of generated programs.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Corpus seed; case $(i,i) of a seed is deterministic, so runs are \
+               reproducible bit-for-bit.")
+
+let fuzz_backend_arg =
+  Arg.(value & opt string "all" & info [ "backend"; "b" ] ~docv:"BACKEND"
+         ~doc:"Pipelines under test: $(b,all) (default), $(b,ft) \
+               (ph_ft/ph_it/tk_ft/naive_ft) or $(b,sc) (ph_sc/tk_sc/naive_sc).")
+
+let fuzz_device_arg =
+  Arg.(value & opt string "auto" & info [ "device"; "d" ] ~docv:"DEVICE"
+         ~doc:"SC device for the sc pipelines: $(b,auto) (a line sized to each \
+               program, worst-case routing), or manhattan | melbourne | line:N | \
+               grid:RxC.")
+
+let out_arg =
+  Arg.(value & opt string "fuzz-failures" & info [ "out" ] ~docv:"DIR"
+         ~doc:"Directory for reproducer artifacts (empty string disables writing).")
+
+let time_budget_arg =
+  Arg.(value & opt float 0. & info [ "time-budget" ] ~docv:"SECONDS"
+         ~doc:"Stop starting new cases after this many seconds (0 = no limit).")
+
+let dense_limit_arg =
+  Arg.(value & opt int 6 & info [ "dense-limit" ] ~docv:"QUBITS"
+         ~doc:"Run the dense unitary oracle only up to this many qubits.")
+
+let max_qubits_arg =
+  Arg.(value & opt int 8 & info [ "max-qubits" ] ~docv:"QUBITS"
+         ~doc:"Generator qubit ceiling (clamped to the device size).")
+
+let no_metamorphic_arg =
+  Arg.(value & flag & info [ "no-metamorphic" ]
+         ~doc:"Skip the block-/term-permutation metamorphic checks.")
+
+let fuzz_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the summary (counters, timings, failures) as JSON on stdout.")
+
+let fuzz_cmd =
+  let doc =
+    "differential fuzzing: seeded random Pauli IR programs through every \
+     pipeline, certified by the Pauli-frame and dense-unitary oracles plus \
+     metamorphic permutation checks; failures are delta-debugged to minimal \
+     reproducers under fuzz-failures/"
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run_fuzz $ cases_arg $ seed_arg $ fuzz_backend_arg $ fuzz_device_arg
+      $ out_arg $ time_budget_arg $ dense_limit_arg $ max_qubits_arg
+      $ no_metamorphic_arg $ fuzz_json_arg)
+
 let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in
-  Cmd.v
+  Cmd.group ~default:compile_term
     (Cmd.info "phc" ~version:"1.0" ~doc)
-    Term.(
-      const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
-      $ print_circuit_arg $ no_verify_arg $ json_arg $ output_arg)
+    [ compile_cmd; fuzz_cmd ]
 
-let () = exit (Cmd.eval' cmd)
+(* `phc input.pauli` (no sub-command) must keep working: route a leading
+   positional that is not a sub-command name through `compile`. *)
+let () =
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv > 1
+      &&
+      match argv.(1) with
+      | "fuzz" | "compile" -> false
+      | s -> String.length s > 0 && s.[0] <> '-'
+    then Array.append [| argv.(0); "compile" |] (Array.sub argv 1 (Array.length argv - 1))
+    else argv
+  in
+  exit (Cmd.eval' ~argv cmd)

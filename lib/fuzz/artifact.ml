@@ -1,0 +1,70 @@
+(* Reproducer artifacts: a minimized `.pauli` source next to a `.json`
+   metadata record (seed, case, pipeline, failed check, parameter
+   environment, original program, replay command).  Everything written
+   is a pure function of (seed, case) — no timestamps — so artifact
+   trees diff cleanly across runs. *)
+
+open Ph_pauli_ir
+open Paulihedral
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    name
+
+(* Parameters still referenced by a (possibly shrunk) program. *)
+let live_params prog params =
+  let labels =
+    List.filter_map
+      (fun (b : Block.t) -> b.Block.param.Block.label)
+      (Program.blocks prog)
+  in
+  List.filter (fun (l, _) -> List.mem l labels) params
+
+let write ~dir ~seed ~(case : Gen.case) ~(failure : Properties.failure) ~shrunk =
+  ensure_dir dir;
+  let base =
+    Printf.sprintf "case%04d-%s-%s" case.Gen.id
+      (sanitize failure.Properties.pipeline)
+      (sanitize failure.Properties.check)
+  in
+  let path = Filename.concat dir base in
+  write_file (path ^ ".pauli") (Parser.to_text shrunk);
+  let params = live_params shrunk case.Gen.params in
+  let meta =
+    Json.Obj
+      [
+        "seed", Json.Int seed;
+        "case", Json.Int case.Gen.id;
+        "family", Json.String case.Gen.family;
+        "pipeline", Json.String failure.Properties.pipeline;
+        "check", Json.String failure.Properties.check;
+        "detail", Json.String failure.Properties.detail;
+        "n_qubits", Json.Int (Program.n_qubits shrunk);
+        "blocks", Json.Int (Program.block_count shrunk);
+        "params", Json.Obj (List.map (fun (l, v) -> l, Json.Float v) params);
+        "original", Json.String (Parser.to_text case.Gen.program);
+        ( "reproduce",
+          Json.String
+            (Printf.sprintf "phc %s.pauli%s  # or: phc fuzz --seed %d --cases %d"
+               base
+               (String.concat ""
+                  (List.map (fun (l, v) -> Printf.sprintf " --param %s=%.17g" l v)
+                     params))
+               seed (case.Gen.id + 1)) );
+      ]
+  in
+  write_file (path ^ ".json") (Json.to_string ~indent:true meta ^ "\n");
+  path

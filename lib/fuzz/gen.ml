@@ -1,0 +1,216 @@
+(* Seeded generator of random Pauli-IR programs.
+
+   Case [i] of seed [s] is a pure function of (s, i): the corpus can be
+   replayed, extended, or resumed from any index.  Families mix
+   unstructured random programs with shapes drawn from the benchmark
+   suite (QAOA ZZ + mixer layers, UCCSD-like paired excitations,
+   all-diagonal Hamiltonians) and adversarial degenerate cases (identity
+   strings, duplicate terms, zero weights, single-qubit blocks). *)
+
+open Ph_pauli
+open Ph_pauli_ir
+
+type case = {
+  id : int;
+  family : string;
+  program : Program.t;
+  params : (string * float) list;
+      (* symbolic-parameter environment: [Parser.parse ~params] on the
+         printed program reconstructs [program] exactly *)
+}
+
+let non_identity rng =
+  match Rng.int rng 3 with 0 -> Pauli.X | 1 -> Pauli.Y | _ -> Pauli.Z
+
+(* Term weights, biased toward edge cases the compiler must survive. *)
+let weight rng =
+  match Rng.int rng 10 with
+  | 0 -> 0. (* adversarial: zero weight *)
+  | 1 -> 1.
+  | 2 -> -1.
+  | 3 -> Rng.float rng 2e-3 (* tiny *)
+  | 4 -> 4. +. Rng.float rng 12. (* large *)
+  | _ -> Rng.float rng 4. -. 2.
+
+(* Block parameters: include 0 and the Clifford angle π/2 (after the
+   angle doubling in Emit.angle these exercise zero-rotation dropping
+   and Clifford-merge paths). *)
+let param_value rng =
+  match Rng.int rng 8 with
+  | 0 -> 0.
+  | 1 -> Float.pi /. 2.
+  | 2 -> 1.
+  | _ -> Rng.float rng (2. *. Float.pi) -. Float.pi
+
+(* One in four block parameters is symbolic, exercising the parser's
+   environment lookup and the reproducer metadata path. *)
+let fresh_param rng params idx =
+  let v = param_value rng in
+  if Rng.int rng 4 = 0 then begin
+    let label = Printf.sprintf "p%d" idx in
+    params := (label, v) :: !params;
+    Block.symbolic label v
+  end
+  else Block.fixed v
+
+let random_string rng n =
+  match Rng.int rng 12 with
+  | 0 -> Pauli_string.identity n (* adversarial: identity string *)
+  | 1 | 2 | 3 | 4 ->
+    (* sparse support of 1..3 qubits *)
+    let k = 1 + Rng.int rng (min 3 n) in
+    Pauli_string.of_support n
+      (List.map (fun q -> q, non_identity rng) (Rng.distinct rng n k))
+  | _ ->
+    Pauli_string.make n (fun _ ->
+        if Rng.int rng 2 = 0 then Pauli.I else non_identity rng)
+
+(* ---------- families ---------- *)
+
+let random_program rng max_qubits =
+  let n = 1 + Rng.int rng (min 6 max_qubits) in
+  let n = if n < max_qubits - 1 && Rng.int rng 8 = 0 then n + 2 else n in
+  let n_blocks = 1 + Rng.int rng 5 in
+  let params = ref [] in
+  let blocks =
+    List.init n_blocks (fun i ->
+        let n_terms = 1 + Rng.int rng 4 in
+        let terms =
+          List.init n_terms (fun _ ->
+              Pauli_term.make (random_string rng n) (weight rng))
+        in
+        (* adversarial: duplicate term *)
+        let terms = if Rng.int rng 6 = 0 then List.hd terms :: terms else terms in
+        Block.make terms (fresh_param rng params i))
+  in
+  Program.make n blocks, List.rev !params
+
+(* QAOA-like: per layer one block of ZZ cost terms over a random graph
+   plus one block of single-X mixer terms (the Trotter.qaoa_layer shape). *)
+let qaoa_program rng max_qubits =
+  let n = min max_qubits (3 + Rng.int rng 5) in
+  let n = max n 2 in
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Rng.int rng 5 < 2 then edges := (a, b) :: !edges
+    done
+  done;
+  if !edges = [] then edges := [ 0, 1 ];
+  let layers = 1 + Rng.int rng 2 in
+  let params = ref [] in
+  let blocks =
+    List.concat
+      (List.init layers (fun l ->
+           let cost =
+             Block.make
+               (List.map
+                  (fun (a, b) ->
+                    Pauli_term.make
+                      (Pauli_string.of_support n [ a, Pauli.Z; b, Pauli.Z ])
+                      (if Rng.bool rng then 1. else weight rng))
+                  !edges)
+               (fresh_param rng params (2 * l))
+           in
+           let mixer =
+             Block.make
+               (List.init n (fun q ->
+                    Pauli_term.make (Pauli_string.of_support n [ q, Pauli.X ]) 1.))
+               (fresh_param rng params ((2 * l) + 1))
+           in
+           [ cost; mixer ]))
+  in
+  Program.make n blocks, List.rev !params
+
+(* UCCSD-like: paired 4-qubit X/Y excitation strings (optionally with
+   the Jordan-Wigner Z chain in between), one pair per block. *)
+let uccsd_program rng max_qubits =
+  let n = min max_qubits (4 + Rng.int rng 5) in
+  let n_blocks = 1 + Rng.int rng 3 in
+  let params = ref [] in
+  let blocks =
+    List.init n_blocks (fun i ->
+        let qs = List.sort Stdlib.compare (Rng.distinct rng n 4) in
+        let a, b, c, d =
+          match qs with [ a; b; c; d ] -> a, b, c, d | _ -> assert false
+        in
+        let z_chain =
+          if Rng.bool rng then
+            List.filter
+              (fun q -> (q > a && q < b) || (q > c && q < d))
+              (List.init n Fun.id)
+            |> List.map (fun q -> q, Pauli.Z)
+          else []
+        in
+        let str ops = Pauli_string.of_support n (ops @ z_chain) in
+        let s1 = str [ a, Pauli.X; b, Pauli.X; c, Pauli.X; d, Pauli.Y ] in
+        let s2 = str [ a, Pauli.Y; b, Pauli.Y; c, Pauli.Y; d, Pauli.X ] in
+        Block.make
+          [ Pauli_term.make s1 0.125; Pauli_term.make s2 (-0.125) ]
+          (fresh_param rng params i))
+  in
+  Program.make n blocks, List.rev !params
+
+(* All-Z strings: every term commutes with every other, so metamorphic
+   permutation checks can compare unitaries exactly. *)
+let diagonal_program rng max_qubits =
+  let n = 1 + Rng.int rng (min 6 max_qubits) in
+  let n_blocks = 1 + Rng.int rng 4 in
+  let params = ref [] in
+  let blocks =
+    List.init n_blocks (fun i ->
+        let n_terms = 1 + Rng.int rng 3 in
+        let terms =
+          List.init n_terms (fun _ ->
+              let k = 1 + Rng.int rng n in
+              Pauli_term.make
+                (Pauli_string.of_support n
+                   (List.map (fun q -> q, Pauli.Z) (Rng.distinct rng n k)))
+                (weight rng))
+        in
+        Block.make terms (fresh_param rng params i))
+  in
+  Program.make n blocks, List.rev !params
+
+(* Adversarial: every block is a single one-qubit rotation. *)
+let single_qubit_program rng max_qubits =
+  let n = 1 + Rng.int rng (min 4 max_qubits) in
+  let n_blocks = 1 + Rng.int rng 5 in
+  let params = ref [] in
+  let blocks =
+    List.init n_blocks (fun i ->
+        Block.make
+          [
+            Pauli_term.make
+              (Pauli_string.of_support n [ Rng.int rng n, non_identity rng ])
+              (weight rng);
+          ]
+          (fresh_param rng params i))
+  in
+  Program.make n blocks, List.rev !params
+
+let families max_qubits =
+  [
+    "random", random_program, 4;
+    "diagonal", diagonal_program, 2;
+    "single", single_qubit_program, 1;
+  ]
+  @ (if max_qubits >= 2 then [ "qaoa", qaoa_program, 2 ] else [])
+  @ (if max_qubits >= 4 then [ "uccsd", uccsd_program, 2 ] else [])
+
+let case ?(max_qubits = 8) ~seed id =
+  if max_qubits < 1 then invalid_arg "Gen.case: max_qubits must be positive";
+  let rng = Rng.create2 seed id in
+  let fams = families max_qubits in
+  let total = List.fold_left (fun acc (_, _, w) -> acc + w) 0 fams in
+  let pick = Rng.int rng total in
+  let rec select acc = function
+    | [] -> assert false
+    | (name, f, w) :: rest ->
+      if pick < acc + w then name, f else select (acc + w) rest
+  in
+  let family, f = select 0 fams in
+  let program, params = f rng max_qubits in
+  { id; family; program; params }
+
+let corpus ?max_qubits ~seed n = List.init n (case ?max_qubits ~seed)

@@ -1,0 +1,209 @@
+(* Oracle and metamorphic properties driven by the fuzzer.
+
+   Oracles: every pipeline's output must pass the scalable Pauli-frame
+   verifier, and on small instances also the dense unitary checker.
+   Metamorphic: printing and reparsing is the identity on programs, and
+   block- / term-permuted inputs must still verify — with exact unitary
+   equivalence whenever all terms of the program mutually commute (then
+   any ordering implements the same rotation product). *)
+
+open Ph_pauli
+open Ph_pauli_ir
+open Ph_gatelevel
+open Paulihedral
+
+type pipeline = { name : string; compile : Program.t -> Pipelines.run }
+
+(* Default SC device for a program: the tightest line, the layout with
+   the worst routing pressure (every non-neighbor interaction swaps). *)
+let line_for prog = Ph_hardware.Devices.line (max 2 (Program.n_qubits prog))
+
+let ft_pipelines () =
+  [
+    { name = "ph_ft"; compile = (fun p -> Pipelines.ph_ft p) };
+    { name = "ph_it"; compile = (fun p -> Pipelines.ph_it p) };
+    { name = "tk_ft"; compile = (fun p -> Pipelines.tk_ft p) };
+    { name = "naive_ft"; compile = (fun p -> Pipelines.naive_ft p) };
+  ]
+
+let sc_pipelines ?coupling () =
+  let dev p = match coupling with Some c -> c | None -> line_for p in
+  [
+    { name = "ph_sc"; compile = (fun p -> Pipelines.ph_sc (dev p) p) };
+    { name = "tk_sc"; compile = (fun p -> Pipelines.tk_sc (dev p) p) };
+    { name = "naive_sc"; compile = (fun p -> Pipelines.naive_sc (dev p) p) };
+  ]
+
+let default_pipelines ?coupling () = ft_pipelines () @ sc_pipelines ?coupling ()
+
+type failure = {
+  pipeline : string; (* pipeline name, or "parser" / "metamorphic" *)
+  check : string;
+  detail : string;
+}
+
+(* ---------- oracle checks per pipeline ---------- *)
+
+let dense_ok ~dense_limit (run : Pipelines.run) prog =
+  if Program.n_qubits prog > dense_limit then true
+  else
+    match run.Pipelines.initial_layout, run.Pipelines.final_layout with
+    | Some initial, Some final ->
+      Circuit.n_qubits run.Pipelines.circuit > 12
+      || Ph_verify.Unitary_check.sc_circuit_implements
+           ~circuit:run.Pipelines.circuit ~rotations:run.Pipelines.rotations
+           ~initial ~final
+    | _ ->
+      Ph_verify.Unitary_check.circuit_implements run.Pipelines.circuit
+        run.Pipelines.rotations
+
+let check_pipeline ~dense_limit pl prog =
+  match pl.compile prog with
+  | exception e ->
+    [ { pipeline = pl.name; check = "exception"; detail = Printexc.to_string e } ]
+  | run ->
+    let frame =
+      match Pipelines.verified run with
+      | true -> []
+      | false ->
+        [
+          {
+            pipeline = pl.name;
+            check = "pauli_frame";
+            detail = "circuit does not implement its claimed rotation trace";
+          };
+        ]
+      | exception e ->
+        [
+          {
+            pipeline = pl.name;
+            check = "pauli_frame";
+            detail = "verifier raised " ^ Printexc.to_string e;
+          };
+        ]
+    in
+    let dense =
+      match dense_ok ~dense_limit run prog with
+      | true -> []
+      | false ->
+        [
+          {
+            pipeline = pl.name;
+            check = "dense";
+            detail = "dense unitary differs from the rotation product";
+          };
+        ]
+      | exception e ->
+        [
+          {
+            pipeline = pl.name;
+            check = "dense";
+            detail = "dense check raised " ^ Printexc.to_string e;
+          };
+        ]
+    in
+    frame @ dense
+
+(* ---------- parse ∘ print = identity ---------- *)
+
+let program_equal a b =
+  let term_equal (s : Pauli_term.t) (t : Pauli_term.t) =
+    Pauli_string.equal s.Pauli_term.str t.Pauli_term.str
+    && s.Pauli_term.coeff = t.Pauli_term.coeff
+  in
+  let block_equal (x : Block.t) (y : Block.t) =
+    x.Block.param.Block.label = y.Block.param.Block.label
+    && x.Block.param.Block.value = y.Block.param.Block.value
+    && List.compare_lengths x.Block.terms y.Block.terms = 0
+    && List.for_all2 term_equal x.Block.terms y.Block.terms
+  in
+  Program.n_qubits a = Program.n_qubits b
+  && List.compare_lengths (Program.blocks a) (Program.blocks b) = 0
+  && List.for_all2 block_equal (Program.blocks a) (Program.blocks b)
+
+let roundtrip ~params prog =
+  let text = Parser.to_text prog in
+  match Parser.parse ~params text with
+  | exception Parser.Parse_error m ->
+    [ { pipeline = "parser"; check = "roundtrip"; detail = "reparse failed: " ^ m } ]
+  | reparsed ->
+    if program_equal prog reparsed then []
+    else
+      [
+        {
+          pipeline = "parser";
+          check = "roundtrip";
+          detail = "parse (print p) differs from p";
+        };
+      ]
+
+(* ---------- metamorphic permutation checks ---------- *)
+
+(* Every pair of terms across the whole program commutes: any execution
+   order yields the same unitary, so permuted compiles must agree. *)
+let fully_commuting prog =
+  let strings =
+    List.concat_map
+      (fun b -> List.map (fun (t : Pauli_term.t) -> t.Pauli_term.str) (Block.terms b))
+      (Program.blocks prog)
+  in
+  let rec go = function
+    | [] -> true
+    | s :: rest ->
+      List.for_all (fun t -> Pauli_string.commutes s t) rest && go rest
+  in
+  go strings
+
+let block_permuted rng prog =
+  Program.with_blocks prog (Rng.shuffle_list rng (Program.blocks prog))
+
+let term_permuted rng prog =
+  Program.with_blocks prog
+    (List.map
+       (fun b -> Block.with_terms b (Rng.shuffle_list rng (Block.terms b)))
+       (Program.blocks prog))
+
+let metamorphic ~dense_limit rng prog =
+  let commuting = fully_commuting prog in
+  let small = Program.n_qubits prog <= dense_limit in
+  let check_variant name variant =
+    match Pipelines.ph_ft variant with
+    | exception e ->
+      [
+        {
+          pipeline = "metamorphic";
+          check = name;
+          detail = "permuted compile raised " ^ Printexc.to_string e;
+        };
+      ]
+    | run ->
+      (if Pipelines.verified run then []
+       else
+         [
+           {
+             pipeline = "metamorphic";
+             check = name;
+             detail = "permuted input fails Pauli-frame verification";
+           };
+         ])
+      @
+      if not (commuting && small) then []
+      else
+        let base = Pipelines.ph_ft prog in
+        if
+          Ph_linalg.Matrix.equal_up_to_phase
+            (Circuit.unitary run.Pipelines.circuit)
+            (Circuit.unitary base.Pipelines.circuit)
+        then []
+        else
+          [
+            {
+              pipeline = "metamorphic";
+              check = name ^ "_unitary";
+              detail = "commuting permuted input compiles to a different unitary";
+            };
+          ]
+  in
+  (if Program.block_count prog < 2 then []
+   else check_variant "block_perm" (block_permuted rng prog))
+  @ check_variant "term_perm" (term_permuted rng prog)

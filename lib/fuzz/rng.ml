@@ -1,0 +1,60 @@
+(* Deterministic splitmix64 PRNG.  The fuzzer owns its random stream —
+   stdlib [Random] is avoided so corpora are reproducible bit-for-bit
+   across OCaml versions and never perturbed by other library code
+   drawing from the global generator. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+(* Independent stream [k] of [seed]: absorb both words through the mixer
+   so nearby (seed, k) pairs decorrelate. *)
+let create2 seed k =
+  let t = create seed in
+  t.state <- Int64.logxor (next64 t) (Int64.of_int k);
+  ignore (next64 t);
+  t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next64 t) (Int64.of_int bound))
+
+(* Uniform in [0, hi): 53 random mantissa bits. *)
+let float t hi =
+  let u = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  u /. 9007199254740992. *. hi
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let x = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- x
+  done
+
+let shuffle_list t xs =
+  let arr = Array.of_list xs in
+  shuffle_in_place t arr;
+  Array.to_list arr
+
+(* [k] distinct values drawn from [0..n-1]. *)
+let distinct t n k =
+  if k > n then invalid_arg "Rng.distinct: k > n";
+  let arr = Array.init n Fun.id in
+  shuffle_in_place t arr;
+  Array.to_list (Array.sub arr 0 k)

@@ -1,0 +1,220 @@
+(* Fuzz driver: generates the seeded corpus, runs every property on
+   every case within a case/time budget, shrinks each failure and writes
+   reproducer artifacts.
+
+   The summary printed on stdout is a pure function of (seed, budget,
+   pipeline set) — wall-clock timings live in the summary record / JSON
+   only — so two runs of `phc fuzz --seed S --cases N` are bit-for-bit
+   identical and can be diffed in CI. *)
+
+open Ph_pauli_ir
+open Paulihedral
+
+type config = {
+  cases : int;
+  seed : int;
+  time_budget_s : float; (* 0. = no time budget *)
+  dense_limit : int; (* dense-oracle qubit ceiling *)
+  max_qubits : int; (* generator ceiling *)
+  metamorphic : bool;
+  pipelines : Properties.pipeline list;
+  out_dir : string option; (* None: don't write artifacts *)
+  shrink_attempts : int;
+}
+
+let default_config ?coupling () =
+  let max_qubits =
+    match coupling with
+    | None -> 8
+    | Some c -> min 8 (Ph_hardware.Coupling.n_qubits c)
+  in
+  {
+    cases = 200;
+    seed = 42;
+    time_budget_s = 0.;
+    dense_limit = 6;
+    max_qubits;
+    metamorphic = true;
+    pipelines = Properties.default_pipelines ?coupling ();
+    out_dir = Some "fuzz-failures";
+    shrink_attempts = 800;
+  }
+
+type stat = { mutable ran : int; mutable failed : int; mutable seconds : float }
+
+type outcome = {
+  case : Gen.case;
+  failure : Properties.failure;
+  shrunk : Program.t;
+  shrink : Shrink.stats;
+  artifact : string option;
+}
+
+type summary = {
+  cases_run : int;
+  per_check : (string * (int * int * float)) list; (* name -> ran, failed, seconds *)
+  outcomes : outcome list;
+  seconds : float;
+}
+
+let failure_count s = List.length s.outcomes
+
+(* Rebuild the property that failed, as a reproduction predicate over
+   candidate programs for the shrinker. *)
+let reproduces cfg rng (case : Gen.case) (f : Properties.failure) =
+  let same fs =
+    List.exists (fun (g : Properties.failure) -> g.Properties.check = f.Properties.check) fs
+  in
+  match f.Properties.pipeline with
+  | "parser" -> fun p -> same (Properties.roundtrip ~params:case.Gen.params p)
+  | "metamorphic" ->
+    fun p -> same (Properties.metamorphic ~dense_limit:cfg.dense_limit rng p)
+  | name -> (
+    match List.find_opt (fun pl -> pl.Properties.name = name) cfg.pipelines with
+    | Some pl ->
+      fun p -> same (Properties.check_pipeline ~dense_limit:cfg.dense_limit pl p)
+    | None -> fun _ -> false)
+
+let run ?(log = fun _ -> ()) cfg =
+  let t0 = Unix.gettimeofday () in
+  let order = ref [] in
+  let stats : (string, stat) Hashtbl.t = Hashtbl.create 16 in
+  let stat name =
+    match Hashtbl.find_opt stats name with
+    | Some s -> s
+    | None ->
+      let s = { ran = 0; failed = 0; seconds = 0. } in
+      Hashtbl.add stats name s;
+      order := name :: !order;
+      s
+  in
+  (* fixed display order: parser, pipelines, metamorphic *)
+  ignore (stat "parser");
+  List.iter (fun pl -> ignore (stat pl.Properties.name)) cfg.pipelines;
+  if cfg.metamorphic then ignore (stat "metamorphic");
+  let outcomes = ref [] in
+  let deadline = if cfg.time_budget_s > 0. then Some (t0 +. cfg.time_budget_s) else None in
+  let out_of_time () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let i = ref 0 in
+  while !i < cfg.cases && not (out_of_time ()) do
+    let case = Gen.case ~max_qubits:cfg.max_qubits ~seed:cfg.seed !i in
+    let shrink_rng = Rng.create2 cfg.seed (0x5eed + !i) in
+    let observe name fails dt =
+      let s = stat name in
+      s.ran <- s.ran + 1;
+      s.seconds <- s.seconds +. dt;
+      if fails <> [] then s.failed <- s.failed + 1
+    in
+    let failures = ref [] in
+    let collect name thunk =
+      let fails, dt = Report.timed thunk in
+      observe name fails dt;
+      failures := !failures @ fails
+    in
+    collect "parser" (fun () ->
+        Properties.roundtrip ~params:case.Gen.params case.Gen.program);
+    List.iter
+      (fun pl ->
+        collect pl.Properties.name (fun () ->
+            Properties.check_pipeline ~dense_limit:cfg.dense_limit pl case.Gen.program))
+      cfg.pipelines;
+    if cfg.metamorphic then begin
+      let meta_rng = Rng.create2 cfg.seed (0x4d455441 + !i) in
+      collect "metamorphic" (fun () ->
+          Properties.metamorphic ~dense_limit:cfg.dense_limit meta_rng case.Gen.program)
+    end;
+    List.iter
+      (fun (f : Properties.failure) ->
+        log
+          (Printf.sprintf "FAIL case %d (%s): %s/%s — %s; shrinking..." case.Gen.id
+             case.Gen.family f.Properties.pipeline f.Properties.check
+             f.Properties.detail);
+        let shrunk, shrink =
+          Shrink.minimize ~max_attempts:cfg.shrink_attempts
+            ~reproduces:(reproduces cfg shrink_rng case f)
+            case.Gen.program
+        in
+        let artifact =
+          Option.map
+            (fun dir -> Artifact.write ~dir ~seed:cfg.seed ~case ~failure:f ~shrunk)
+            cfg.out_dir
+        in
+        (match artifact with
+        | Some path -> log (Printf.sprintf "  reproducer: %s.pauli" path)
+        | None -> ());
+        outcomes := { case; failure = f; shrunk; shrink; artifact } :: !outcomes)
+      !failures;
+    incr i
+  done;
+  {
+    cases_run = !i;
+    per_check =
+      List.rev_map
+        (fun name ->
+          let s = Hashtbl.find stats name in
+          name, (s.ran, s.failed, s.seconds))
+        !order;
+    outcomes = List.rev !outcomes;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+(* Deterministic digest (no timings) for stdout. *)
+let print_summary ?(out = stdout) s =
+  Printf.fprintf out "fuzz: %d cases\n" s.cases_run;
+  List.iter
+    (fun (name, (ran, failed, _)) ->
+      Printf.fprintf out "  %-12s %6d checked %6d failed\n" name ran failed)
+    s.per_check;
+  List.iter
+    (fun o ->
+      Printf.fprintf out
+        "  FAIL case %d (%s) %s/%s: %s — shrunk to %d block(s), %d qubit(s)%s\n"
+        o.case.Gen.id o.case.Gen.family o.failure.Properties.pipeline
+        o.failure.Properties.check o.failure.Properties.detail
+        (Program.block_count o.shrunk) (Program.n_qubits o.shrunk)
+        (match o.artifact with
+        | Some p -> Printf.sprintf " -> %s.pauli" p
+        | None -> ""))
+    s.outcomes;
+  Printf.fprintf out "result: %s\n"
+    (if s.outcomes = [] then "OK" else Printf.sprintf "%d failure(s)" (failure_count s))
+
+let summary_to_json s =
+  Json.Obj
+    [
+      "cases", Json.Int s.cases_run;
+      "seconds", Json.Float s.seconds;
+      ( "checks",
+        Json.List
+          (List.map
+             (fun (name, (ran, failed, seconds)) ->
+               Json.Obj
+                 [
+                   "check", Json.String name;
+                   "ran", Json.Int ran;
+                   "failed", Json.Int failed;
+                   "seconds", Json.Float seconds;
+                 ])
+             s.per_check) );
+      ( "failures",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   "case", Json.Int o.case.Gen.id;
+                   "family", Json.String o.case.Gen.family;
+                   "pipeline", Json.String o.failure.Properties.pipeline;
+                   "check", Json.String o.failure.Properties.check;
+                   "detail", Json.String o.failure.Properties.detail;
+                   "shrunk_blocks", Json.Int (Program.block_count o.shrunk);
+                   "shrink_attempts", Json.Int o.shrink.Shrink.attempts;
+                   ( "artifact",
+                     match o.artifact with
+                     | Some p -> Json.String p
+                     | None -> Json.Null );
+                 ])
+             s.outcomes) );
+    ]

@@ -1,0 +1,145 @@
+(* Delta-debugging minimizer for failing Pauli-IR programs.
+
+   Greedy descent: enumerate structurally smaller candidates (drop a
+   block, drop a term, erase one operator to I, strip idle qubit wires,
+   normalize weights/parameters to 1), keep the first candidate on which
+   the failure still reproduces, restart from it, stop at a fixpoint or
+   when the attempt budget runs out.  Candidate order puts the largest
+   cuts first so typical reproducers collapse in a handful of probes. *)
+
+open Ph_pauli
+open Ph_pauli_ir
+
+let drop_nth xs n = List.filteri (fun i _ -> i <> n) xs
+
+let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs
+
+(* Rebuild the program without qubit wires that are identity in every
+   term (present after operator erasures); keeps at least one wire. *)
+let drop_idle_qubits prog =
+  let n = Program.n_qubits prog in
+  let used = Array.make n false in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (t : Pauli_term.t) ->
+          List.iter (fun q -> used.(q) <- true) (Pauli_string.support t.Pauli_term.str))
+        (Block.terms b))
+    (Program.blocks prog);
+  let keep = List.filter (Array.get used) (List.init n Fun.id) in
+  let keep = if keep = [] then [ 0 ] else keep in
+  if List.compare_length_with keep n = 0 then None
+  else
+    let karr = Array.of_list keep in
+    let n' = Array.length karr in
+    let remap s = Pauli_string.make n' (fun i -> Pauli_string.get s karr.(i)) in
+    Some
+      (Program.make n'
+         (List.map
+            (fun b ->
+              Block.make
+                (List.map
+                   (fun (t : Pauli_term.t) ->
+                     Pauli_term.make (remap t.Pauli_term.str) t.Pauli_term.coeff)
+                   (Block.terms b))
+                (Block.param b))
+            (Program.blocks prog)))
+
+let candidates prog : Program.t Seq.t =
+  let blocks = Program.blocks prog in
+  let nb = List.length blocks in
+  let rebuilt bs = Program.with_blocks prog bs in
+  let drop_block =
+    if nb <= 1 then Seq.empty
+    else Seq.map (fun i -> rebuilt (drop_nth blocks i)) (Seq.init nb Fun.id)
+  in
+  let drop_term =
+    Seq.concat_map
+      (fun i ->
+        let b = List.nth blocks i in
+        let ts = Block.terms b in
+        if List.compare_length_with ts 1 <= 0 then Seq.empty
+        else
+          Seq.map
+            (fun j -> rebuilt (replace_nth blocks i (Block.with_terms b (drop_nth ts j))))
+            (Seq.init (List.length ts) Fun.id))
+      (Seq.init nb Fun.id)
+  in
+  let strip_idle = match drop_idle_qubits prog with
+    | None -> Seq.empty
+    | Some p -> Seq.return p
+  in
+  let erase_op =
+    Seq.concat_map
+      (fun i ->
+        let b = List.nth blocks i in
+        let ts = Block.terms b in
+        Seq.concat_map
+          (fun j ->
+            let (t : Pauli_term.t) = List.nth ts j in
+            Seq.map
+              (fun q ->
+                let str = Pauli_string.with_ops t.Pauli_term.str [ q, Pauli.I ] in
+                let t' = Pauli_term.make str t.Pauli_term.coeff in
+                rebuilt (replace_nth blocks i (Block.with_terms b (replace_nth ts j t'))))
+              (List.to_seq (Pauli_string.support t.Pauli_term.str)))
+          (Seq.init (List.length ts) Fun.id))
+      (Seq.init nb Fun.id)
+  in
+  let normalize_numbers =
+    Seq.concat_map
+      (fun i ->
+        let b = List.nth blocks i in
+        let ts = Block.terms b in
+        let coeffs =
+          Seq.filter_map
+            (fun j ->
+              let (t : Pauli_term.t) = List.nth ts j in
+              if t.Pauli_term.coeff = 1. then None
+              else
+                Some
+                  (rebuilt
+                     (replace_nth blocks i
+                        (Block.with_terms b
+                           (replace_nth ts j (Pauli_term.make t.Pauli_term.str 1.))))))
+            (Seq.init (List.length ts) Fun.id)
+        in
+        let param =
+          let p = Block.param b in
+          if p.Block.label = None && p.Block.value = 1. then Seq.empty
+          else
+            Seq.return
+              (rebuilt (replace_nth blocks i (Block.make ts (Block.fixed 1.))))
+        in
+        Seq.append coeffs param)
+      (Seq.init nb Fun.id)
+  in
+  List.fold_left Seq.append Seq.empty
+    [ drop_block; drop_term; strip_idle; erase_op; normalize_numbers ]
+
+type stats = { attempts : int; kept : int }
+
+(* [minimize ~reproduces prog] — [reproduces] must return true when the
+   candidate still exhibits the original failure; exceptions it raises
+   count as "does not reproduce" so a shrink step never trades one bug
+   for a different crash. *)
+let minimize ?(max_attempts = 800) ~reproduces prog =
+  let attempts = ref 0 and kept = ref 0 in
+  let ok p =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      try reproduces p with _ -> false
+    end
+  in
+  let rec go prog =
+    if !attempts >= max_attempts then prog
+    else
+      match Seq.find ok (candidates prog) with
+      | Some smaller ->
+        incr kept;
+        go smaller
+      | None -> prog
+  in
+  let result = go prog in
+  result, { attempts = !attempts; kept = !kept }

@@ -1,0 +1,19 @@
+(* Shortest decimal representation of a float that parses back to the
+   exact same value (bit-for-bit).  Used by every textual printer whose
+   output must round-trip through a parser — the Pauli-IR concrete
+   syntax in particular, where fuzz reproducer artifacts rely on
+   [parse (print p) = p] holding exactly. *)
+
+let repr f =
+  if Float.is_nan f then "nan"
+  else if f = infinity then "inf"
+  else if f = neg_infinity then "-inf"
+  else begin
+    (* Try increasing precision until the decimal form round-trips;
+       %.17g always does for finite doubles, so the loop terminates. *)
+    let rec go p =
+      let s = Printf.sprintf "%.*g" p f in
+      if p >= 17 || float_of_string s = f then s else go (p + 1)
+    in
+    go 1
+  end

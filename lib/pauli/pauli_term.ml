@@ -10,4 +10,5 @@ let compare_lex ?rank a b =
   let c = Pauli_string.compare_lex ?rank a.str b.str in
   if c <> 0 then c else Stdlib.compare a.coeff b.coeff
 
-let pp fmt t = Format.fprintf fmt "(%a, %g)" Pauli_string.pp t.str t.coeff
+let pp fmt t =
+  Format.fprintf fmt "(%a, %s)" Pauli_string.pp t.str (Float_text.repr t.coeff)

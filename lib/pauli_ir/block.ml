@@ -76,7 +76,7 @@ let pp fmt b =
   let pp_param fmt p =
     match p.label with
     | Some l -> Format.fprintf fmt "%s" l
-    | None -> Format.fprintf fmt "%g" p.value
+    | None -> Format.fprintf fmt "%s" (Float_text.repr p.value)
   in
   Format.fprintf fmt "{";
   List.iter (fun t -> Format.fprintf fmt "%a, " Pauli_term.pp t) b.terms;

@@ -185,11 +185,12 @@ let to_text prog =
       List.iter
         (fun (t : Pauli_term.t) ->
           Buffer.add_string buf
-            (Printf.sprintf "(%s, %.17g), " (Pauli_string.to_string t.str) t.coeff))
+            (Printf.sprintf "(%s, %s), " (Pauli_string.to_string t.str)
+               (Float_text.repr t.coeff)))
         b.terms;
       (match b.param.label with
       | Some l -> Buffer.add_string buf l
-      | None -> Buffer.add_string buf (Printf.sprintf "%.17g" b.param.value));
+      | None -> Buffer.add_string buf (Float_text.repr b.param.value));
       Buffer.add_string buf "};\n")
     (Program.blocks prog);
   Buffer.contents buf

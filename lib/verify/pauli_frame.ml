@@ -181,26 +181,35 @@ let same_rotation (s1, t1) (s2, t2) =
    nearest earlier rotation with the same Pauli when everything in
    between commutes with it (the Pauli-level counterpart of the peephole
    optimizer's commutation-aware Rz merging); zero-angle rotations are
-   dropped.  The transformation preserves the represented unitary, so
-   comparing normal forms stays sound. *)
+   dropped.  A ~zero-angle rotation is the identity, so it is skipped on
+   input and treated as transparent during the merge scan — otherwise a
+   claimed zero rotation (e.g. from a zero-weight term) would block a
+   merge that the peephole optimizer performed on the circuit side after
+   deleting the corresponding Rz(0) gate.  The transformation preserves
+   the represented unitary, so comparing normal forms stays sound. *)
+let zero_angle theta = abs_float theta <= 1e-12
+
 let normalize rotations =
   let out = ref [] in
   (* [out] is kept in reverse order; entries are mutable angle refs. *)
   List.iter
     (fun (p, theta) ->
-      let rec merge = function
-        | [] -> None
-        | (q, angle) :: rest ->
-          if Pauli_string.equal p q then Some angle
-          else if Pauli_string.commutes p q then merge rest
-          else None
-      in
-      match merge !out with
-      | Some angle -> angle := !angle +. theta
-      | None -> out := (p, ref theta) :: !out)
+      if not (zero_angle theta) then begin
+        let rec merge = function
+          | [] -> None
+          | (q, angle) :: rest ->
+            if Pauli_string.equal p q then Some angle
+            else if zero_angle !angle then merge rest
+            else if Pauli_string.commutes p q then merge rest
+            else None
+        in
+        match merge !out with
+        | Some angle -> angle := !angle +. theta
+        | None -> out := (p, ref theta) :: !out
+      end)
     rotations;
   List.rev_map (fun (p, angle) -> p, !angle) !out
-  |> List.filter (fun (_, theta) -> abs_float theta > 1e-12)
+  |> List.filter (fun (_, theta) -> not (zero_angle theta))
 
 let verify_ft circuit ~trace =
   let rotations, residue = extract circuit in

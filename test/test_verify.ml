@@ -153,6 +153,64 @@ let test_verify_sc_rotation_after_swap () =
   check "conjugated back to initial frame" true
     (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial ~final)
 
+let test_verify_ft_zero_angle_trace () =
+  (* A zero-angle claimed rotation is the identity: it must neither
+     require a gate nor block trace-side merging — the peephole pass
+     deletes Rz(0) from the circuit and merges the rotations around the
+     gap, so the verifier has to merge across the zero entry too. *)
+  let c = Circuit.of_gates 1 [ Gate.H 0; Gate.Rz (0.8, 0); Gate.H 0 ] in
+  check "zero entry is transparent" true
+    (Pauli_frame.verify_ft c
+       ~trace:[ str "X", 0.4; str "Z", 0.; str "X", 0.4 ]);
+  check "all-zero trace needs no gates" true
+    (Pauli_frame.verify_ft (Circuit.of_gates 1 []) ~trace:[ str "Z", 0. ]);
+  check "nonzero rotation still required" false
+    (Pauli_frame.verify_ft (Circuit.of_gates 1 []) ~trace:[ str "Z", 0.3 ])
+
+(* --- residue_permutation on routed circuits with ancillas --- *)
+
+let test_verify_sc_ancilla_only_swap () =
+  (* 2 logical qubits on 4 physical; routing swaps only the two ancilla
+     wires, so the data never moves and the layouts stay identical. *)
+  let initial = Layout.identity 2 4 in
+  let final = Layout.identity 2 4 in
+  let c = Circuit.of_gates 4 [ Gate.Rz (0.3, 0); Gate.Swap (2, 3) ] in
+  (let _, residue = Pauli_frame.extract c in
+   match Pauli_frame.residue_permutation residue with
+   | Some perm ->
+     check_int "data 0 fixed" 0 perm.(0);
+     check_int "data 1 fixed" 1 perm.(1);
+     check_int "ancilla 2 moved" 3 perm.(2);
+     check_int "ancilla 3 moved" 2 perm.(3)
+   | None -> Alcotest.fail "expected a permutation residue");
+  check "ancilla-only swap accepted" true
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "IZ", 0.3 ] ~initial ~final)
+
+let test_verify_sc_data_ancilla_swap () =
+  (* A swap moving data 1 onto an ancilla wire is fine iff the final
+     layout records the move. *)
+  let initial = Layout.identity 2 4 in
+  let final = Layout.identity 2 4 in
+  Layout.swap_physical final 1 2;
+  let c = Circuit.of_gates 4 [ Gate.Rz (0.3, 1); Gate.Swap (1, 2) ] in
+  check "accepted with updated layout" true
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial ~final);
+  check "rejected with stale layout" false
+    (Pauli_frame.verify_sc ~circuit:c ~trace:[ str "ZI", 0.3 ] ~initial
+       ~final:(Layout.identity 2 4))
+
+let test_verify_sc_stray_z_placement () =
+  (* A leftover Z is a sign flip on the X row of the wire it lands on:
+     tolerated on a |0⟩ ancilla, rejected on a data wire. *)
+  let initial = Layout.identity 2 4 in
+  let trace = [ str "IZ", 0.3 ] in
+  let on_ancilla = Circuit.of_gates 4 [ Gate.Rz (0.3, 0); Gate.Z 3 ] in
+  check "stray Z on ancilla tolerated" true
+    (Pauli_frame.verify_sc ~circuit:on_ancilla ~trace ~initial ~final:initial);
+  let on_data = Circuit.of_gates 4 [ Gate.Rz (0.3, 0); Gate.Z 1 ] in
+  check "stray Z on data rejected" false
+    (Pauli_frame.verify_sc ~circuit:on_data ~trace ~initial ~final:initial)
+
 (* --- Unitary_check --- *)
 
 let test_rotations_unitary () =
@@ -193,11 +251,16 @@ let () =
           Alcotest.test_case "rejects wrong trace" `Quick test_verify_ft_rejects_wrong_trace;
           Alcotest.test_case "rejects leftover clifford" `Quick
             test_verify_ft_rejects_leftover_clifford;
+          Alcotest.test_case "zero-angle trace entries" `Quick
+            test_verify_ft_zero_angle_trace;
         ] );
       ( "verify_sc",
         [
           Alcotest.test_case "swap residue" `Quick test_verify_sc_swap;
           Alcotest.test_case "rotation after swap" `Quick test_verify_sc_rotation_after_swap;
+          Alcotest.test_case "ancilla-only swap" `Quick test_verify_sc_ancilla_only_swap;
+          Alcotest.test_case "data-ancilla swap" `Quick test_verify_sc_data_ancilla_swap;
+          Alcotest.test_case "stray Z placement" `Quick test_verify_sc_stray_z_placement;
         ] );
       ( "unitary_check",
         [
