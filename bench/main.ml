@@ -83,6 +83,21 @@ let write_json path =
   close_out oc;
   Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) path
 
+(* ---------- --lint: per-stage linting of the PH pipelines ---------- *)
+
+(* At warn level the linter never fails a run; its findings and wall
+   time land in the compile trace, so `--json` records carry
+   lint_errors / lint_warnings / lint_s and `compare` can report the
+   lint-time overhead between two reports. *)
+let lint_enabled = ref false
+let lint_level () = if !lint_enabled then Lint.Diag.Warn else Lint.Diag.Off
+let ph_ft ?schedule prog = Pipelines.ph_ft ?schedule ~lint:(lint_level ()) prog
+
+let ph_sc ?schedule device prog =
+  Pipelines.ph_sc ?schedule ~lint:(lint_level ()) device prog
+
+let ph_it prog = Pipelines.ph_it ~lint:(lint_level ()) prog
+
 (* ---------- Table 1: benchmark information ---------- *)
 
 let table1 filters =
@@ -113,7 +128,7 @@ let table2_sc filters =
     (fun (b : Suite.t) ->
       if wanted filters b then begin
         let prog = b.Suite.generate () in
-        let ph = Pipelines.ph_sc sc_device prog in
+        let ph = ph_sc sc_device prog in
         let tk = Pipelines.tk_sc sc_device prog in
         record ~bench:b.Suite.name ~config:"table2-sc/PH" prog ph;
         record ~bench:b.Suite.name ~config:"table2-sc/TK" prog tk;
@@ -129,7 +144,7 @@ let table2_ft filters =
     (fun (b : Suite.t) ->
       if wanted filters b then begin
         let prog = b.Suite.generate () in
-        let ph = Pipelines.ph_ft ~schedule:Config.Depth_oriented prog in
+        let ph = ph_ft ~schedule:Config.Depth_oriented prog in
         let tk = Pipelines.tk_ft prog in
         record ~bench:b.Suite.name ~config:"table2-ft/PH" prog ph;
         record ~bench:b.Suite.name ~config:"table2-ft/TK" prog tk;
@@ -148,7 +163,7 @@ let table3 filters =
       if wanted filters b && b.Suite.category = "QAOA" && b.Suite.name.[0] = 'R'
       then begin
         let prog = b.Suite.generate () in
-        let ph = Pipelines.ph_sc sc_device prog in
+        let ph = ph_sc sc_device prog in
         let qc = Pipelines.qaoa_sc sc_device prog in
         record ~bench:b.Suite.name ~config:"table3/PH" prog ph;
         record ~bench:b.Suite.name ~config:"table3/QAOA_comp" prog qc;
@@ -166,8 +181,8 @@ let table4_sched filters =
     let prog = b.Suite.generate () in
     let compiled schedule =
       match b.Suite.backend with
-      | Suite.FT -> Pipelines.ph_ft ~schedule prog
-      | Suite.SC -> Pipelines.ph_sc ~schedule sc_device prog
+      | Suite.FT -> ph_ft ~schedule prog
+      | Suite.SC -> ph_sc ~schedule sc_device prog
     in
     let gco = compiled Config.Gco in
     let dor = compiled Config.Depth_oriented in
@@ -207,8 +222,8 @@ let table4_bc filters =
         let prog = b.Suite.generate () in
         let ph =
           match b.Suite.backend with
-          | Suite.FT -> Pipelines.ph_ft ~schedule:Config.Gco prog
-          | Suite.SC -> Pipelines.ph_sc ~schedule:Config.Gco sc_device prog
+          | Suite.FT -> ph_ft ~schedule:Config.Gco prog
+          | Suite.SC -> ph_sc ~schedule:Config.Gco sc_device prog
         in
         let base = scheduled_naive b prog in
         record ~bench:b.Suite.name ~config:"table4-bc/PH" prog ph;
@@ -277,7 +292,7 @@ let fig11 filters =
             trace = Report.empty_trace;
           }
         in
-        let ph = Pipelines.ph_sc device prog in
+        let ph = ph_sc device prog in
         let eval r seed =
           Ph_sim.Qaoa_run.evaluate ~noise ~trajectories ~seed g (kernel_of r) ~beta
         in
@@ -351,7 +366,7 @@ let ablation filters =
     end
   in
   let sched_variant schedule prog =
-    (Pipelines.ph_ft ~schedule prog).Pipelines.metrics
+    (ph_ft ~schedule prog).Pipelines.metrics
   in
   run "UCCSD-12"
     [
@@ -368,8 +383,8 @@ let ablation filters =
     [ "do-padding", do_padding true; "do-nopad", do_padding false ];
   run "UCCSD-8"
     [ "sc-root-lcc", sc_root `Largest_component; "sc-root-first", sc_root `First_core ];
-  let it_backend prog = (Pipelines.ph_it prog).Pipelines.metrics in
-  let ft_backend prog = (Pipelines.ph_ft prog).Pipelines.metrics in
+  let it_backend prog = (ph_it prog).Pipelines.metrics in
+  let ft_backend prog = (ph_ft prog).Pipelines.metrics in
   run "Heisen-1D"
     [ "backend-ft", ft_backend; "backend-ion", it_backend ]
 
@@ -391,15 +406,15 @@ let timing () =
       Test.make ~name:"table1/naive-UCCSD-8"
         (stage (fun () -> ignore (Ph_synthesis.Naive.synthesize uccsd8)));
       Test.make ~name:"table2-sc/ph-UCCSD-8"
-        (stage (fun () -> ignore (Pipelines.ph_sc sc_device uccsd8)));
+        (stage (fun () -> ignore (ph_sc sc_device uccsd8)));
       Test.make ~name:"table2-ft/ph-Rand-30"
-        (stage (fun () -> ignore (Pipelines.ph_ft rand30)));
+        (stage (fun () -> ignore (ph_ft rand30)));
       Test.make ~name:"table3/ph-REG-20-4"
-        (stage (fun () -> ignore (Pipelines.ph_sc sc_device reg)));
+        (stage (fun () -> ignore (ph_sc sc_device reg)));
       Test.make ~name:"table4/do-Heisen-2D"
-        (stage (fun () -> ignore (Pipelines.ph_ft ~schedule:Config.Depth_oriented heisen)));
+        (stage (fun () -> ignore (ph_ft ~schedule:Config.Depth_oriented heisen)));
       Test.make ~name:"fig11/ph-REG-n7-d4"
-        (stage (fun () -> ignore (Pipelines.ph_sc Devices.melbourne fig11_prog)));
+        (stage (fun () -> ignore (ph_sc Devices.melbourne fig11_prog)));
     ]
   in
   let test = Test.make_grouped ~name:"paulihedral" ~fmt:"%s %s" tests in
@@ -442,10 +457,11 @@ let compare_reports ?fail_on a_path b_path =
   in
   let a = load a_path and b = load b_path in
   Printf.printf "=== compare: %s (A) vs %s (B) ===\n" a_path b_path;
-  Printf.printf "%-14s %-22s %10s %10s %10s %10s\n" "benchmark" "config" "cnot"
-    "total" "depth" "time";
+  Printf.printf "%-14s %-22s %10s %10s %10s %10s %10s\n" "benchmark" "config"
+    "cnot" "total" "depth" "time" "lint";
   let ratios_cnot = ref [] and ratios_total = ref [] in
   let ratios_depth = ref [] and ratios_time = ref [] in
+  let ratios_lint = ref [] in
   let matched = ref 0 in
   List.iter
     (fun (ra : Report.record) ->
@@ -467,13 +483,20 @@ let compare_reports ?fail_on a_path b_path =
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.total) ratios_total;
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.depth) ratios_depth;
         ratio (fun (m : Report.metrics) -> m.Report.seconds) ratios_time;
-        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx\n" ra.Report.bench
+        let lint_a = ra.Report.trace.Report.lint_s
+        and lint_b = rb.Report.trace.Report.lint_s in
+        if lint_a > 0. && lint_b > 0. then
+          ratios_lint := (lint_b /. lint_a) :: !ratios_lint;
+        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx %10s\n" ra.Report.bench
           ra.Report.config
           (pct ma.Report.cnot mb.Report.cnot)
           (pct ma.Report.total mb.Report.total)
           (pct ma.Report.depth mb.Report.depth)
           (if ma.Report.seconds > 0. then mb.Report.seconds /. ma.Report.seconds
-           else nan))
+           else nan)
+          (if lint_a > 0. && lint_b > 0. then
+             Printf.sprintf "%.2fx" (lint_b /. lint_a)
+           else "-"))
     a;
   if !matched = 0 then begin
     Printf.printf "no (benchmark, config) pairs in common\n";
@@ -490,6 +513,7 @@ let compare_reports ?fail_on a_path b_path =
     gm "total" !ratios_total;
     gm "depth" !ratios_depth;
     gm "time" !ratios_time;
+    gm "lint" !ratios_lint;
     match fail_on with
     | None -> 0
     | Some pct ->
@@ -547,7 +571,7 @@ let experiments =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE]\n\
+    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint]\n\
     \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
     \       main.exe fuzz [CASES] [SEED]";
   exit 1
@@ -559,7 +583,14 @@ let () =
     | x :: rest -> extract_opt key (x :: acc) rest
     | [] -> None, List.rev acc
   in
+  let rec extract_flag key acc = function
+    | k :: rest when k = key -> true, List.rev_append acc rest
+    | x :: rest -> extract_flag key (x :: acc) rest
+    | [] -> false, List.rev acc
+  in
   let json_path, args = extract_opt "--json" [] (List.tl (Array.to_list Sys.argv)) in
+  let lint_flag, args = extract_flag "--lint" [] args in
+  lint_enabled := lint_flag;
   let fail_on, args = extract_opt "--fail-on-regression" [] args in
   let fail_on =
     Option.map

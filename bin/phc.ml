@@ -60,20 +60,28 @@ let config_name backend device schedule =
   | "sc" -> Printf.sprintf "sc/%s/%s" device sched
   | b -> Printf.sprintf "%s/%s" b sched
 
-let run file backend device schedule params print_circuit no_verify json output =
+let config_for ~backend ~device ~schedule ~lint =
+  match backend with
+  | "ft" -> Config.ft ~schedule ~lint ()
+  | "it" -> Config.ion_trap ~schedule ~lint ()
+  | "sc" ->
+    (match parse_device device with
+    | Ok coupling -> Config.sc ~schedule ~lint coupling
+    | Error (`Msg m) -> failwith m)
+  | b -> failwith (Printf.sprintf "unknown backend %S (ft | sc | it)" b)
+
+(* Lint findings go to stderr (stdout carries metrics / JSON); returns
+   true when error-severity findings must fail the run. *)
+let report_lint ~lint (out : Compiler.output) =
+  let diags = out.Compiler.trace.Report.lint in
+  List.iter (fun d -> prerr_endline (Lint.Diag.to_string d)) diags;
+  lint = Lint.Diag.Error_level && Compiler.lint_errors out <> []
+
+let run file backend device schedule params print_circuit no_verify lint json output =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
-    let out =
-      match backend with
-      | "ft" -> Compiler.compile (Config.ft ~schedule ()) program
-      | "it" -> Compiler.compile (Config.ion_trap ~schedule ()) program
-      | "sc" ->
-        (match parse_device device with
-        | Ok coupling -> Compiler.compile (Config.sc ~schedule coupling) program
-        | Error (`Msg m) -> failwith m)
-      | b -> failwith (Printf.sprintf "unknown backend %S (ft | sc | it)" b)
-    in
+    let out = Compiler.compile (config_for ~backend ~device ~schedule ~lint) program in
     Ok (program, out)
   with
   | exception Sys_error m -> prerr_endline m; 1
@@ -83,6 +91,7 @@ let run file backend device schedule params print_circuit no_verify json output 
     1
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (program, out) ->
+    let lint_failed = report_lint ~lint out in
     if json then
       (* same record schema as bench/main.exe --json, one object *)
       print_endline
@@ -130,7 +139,7 @@ let run file backend device schedule params print_circuit no_verify json output 
       close_out oc;
       if not json then Printf.printf "wrote %s\n" path
     | None -> ());
-    if ok then 0 else 2
+    if not ok then 2 else if lint_failed then 3 else 0
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Pauli IR source file.")
@@ -171,6 +180,25 @@ let print_circuit_arg =
 let no_verify_arg =
   Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip Pauli-frame verification.")
 
+let lint_conv =
+  Arg.conv
+    ( (fun s ->
+        match Lint.Diag.level_of_string s with
+        | Ok l -> Ok l
+        | Error m -> Error (`Msg m)),
+      fun fmt l -> Format.pp_print_string fmt (Lint.Diag.level_to_string l) )
+
+let lint_arg =
+  Arg.(
+    value
+    & opt ~vopt:Lint.Diag.Error_level lint_conv Lint.Diag.Off
+    & info [ "lint" ] ~docv:"LEVEL"
+        ~doc:
+          "Run the per-stage IR verifier between every compile stage: $(b,off) \
+           (default), $(b,warn) (report diagnostics on stderr) or $(b,error) \
+           (additionally exit 3 when an error-severity diagnostic fires). \
+           $(b,--lint) alone means $(b,--lint=error).")
+
 let json_arg =
   Arg.(value & flag & info [ "json" ]
          ~doc:"Emit the compile as one bench-report JSON record (metrics plus \
@@ -184,12 +212,71 @@ let output_arg =
 let compile_term =
   Term.(
     const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
-    $ print_circuit_arg $ no_verify_arg $ json_arg $ output_arg)
+    $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg $ output_arg)
 
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Pauli IR source file (the default command).")
     compile_term
+
+(* ---------- phc lint: verify-each over the whole pipeline ---------- *)
+
+let run_lint file backend device schedule params json =
+  match
+    let source = read_file file in
+    let program = Ph_pauli_ir.Parser.parse ~params source in
+    let config =
+      config_for ~backend ~device ~schedule ~lint:Lint.Diag.Error_level
+    in
+    Ok (program, Compiler.compile config program)
+  with
+  | exception Sys_error m -> prerr_endline m; 1
+  | exception Failure m -> prerr_endline m; 1
+  | exception Ph_pauli_ir.Parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    1
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (program, out) ->
+    let diags = out.Compiler.trace.Report.lint in
+    let errors = Lint.Diag.errors diags in
+    if json then
+      print_endline
+        (Json.to_string ~indent:true
+           (Json.Obj
+              [
+                "file", Json.String (Filename.basename file);
+                "config", Json.String (config_name backend device schedule);
+                "qubits", Json.Int (Ph_pauli_ir.Program.n_qubits program);
+                "paulis", Json.Int (Ph_pauli_ir.Program.term_count program);
+                "errors", Json.Int (List.length errors);
+                ( "warnings",
+                  Json.Int (List.length (Lint.Diag.warnings diags)) );
+                "lint_s", Json.Float out.Compiler.trace.Report.lint_s;
+                "diagnostics", Json.List (List.map Lint.Diag.to_json diags);
+              ]))
+    else begin
+      List.iter (fun d -> print_endline (Lint.Diag.to_string d)) diags;
+      Printf.printf "%s: %d error(s), %d warning(s) [%s, %d qubits, %d strings]\n"
+        (Filename.basename file) (List.length errors)
+        (List.length (Lint.Diag.warnings diags))
+        (config_name backend device schedule)
+        (Ph_pauli_ir.Program.n_qubits program)
+        (Ph_pauli_ir.Program.term_count program)
+    end;
+    if errors = [] then 0 else 3
+
+let lint_cmd =
+  let doc =
+    "statically verify a Pauli IR source through the whole compile pipeline: \
+     each stage boundary (IR, schedule, synthesis, hardware mapping, final \
+     circuit) is checked against its invariants and findings are reported as \
+     structured diagnostics; exits 3 when any error-severity diagnostic fires"
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ file_arg $ backend_arg $ device_arg $ schedule_arg
+      $ params_arg $ json_arg)
 
 (* ---------- phc fuzz: differential fuzzing of all pipelines ---------- *)
 
@@ -302,7 +389,7 @@ let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in
   Cmd.group ~default:compile_term
     (Cmd.info "phc" ~version:"1.0" ~doc)
-    [ compile_cmd; fuzz_cmd ]
+    [ compile_cmd; lint_cmd; fuzz_cmd ]
 
 (* `phc input.pauli` (no sub-command) must keep working: route a leading
    positional that is not a sub-command name through `compile`. *)
@@ -313,7 +400,7 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "fuzz" | "compile" -> false
+      | "fuzz" | "compile" | "lint" -> false
       | s -> String.length s > 0 && s.[0] <> '-'
     then Array.append [| argv.(0); "compile" |] (Array.sub argv 1 (Array.length argv - 1))
     else argv

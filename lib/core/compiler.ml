@@ -14,6 +14,8 @@ type output = {
   trace : Report.trace;
 }
 
+let lint_errors o = Ph_lint.Diag.errors o.trace.Report.lint
+
 let schedule_layers config prog =
   match config.Config.schedule with
   | Config.Program_order ->
@@ -29,41 +31,70 @@ let schedule_layers config prog =
     let layers = Max_overlap.schedule prog in
     layers, (List.length layers, 0)
 
+(* Accumulator for the verify-each checkers: when linting is enabled,
+   [run] times one checker and appends its findings in stage order. *)
+type lint_acc = {
+  enabled : bool;
+  mutable diags : Ph_lint.Diag.t list;
+  mutable seconds : float;
+}
+
+let lint_run acc check =
+  if acc.enabled then begin
+    let diags, dt = Report.timed check in
+    acc.diags <- acc.diags @ diags;
+    acc.seconds <- acc.seconds +. dt
+  end
+
 let compile config prog =
   let t0 = Unix.gettimeofday () in
+  let acc =
+    { enabled = config.Config.lint <> Ph_lint.Diag.Off; diags = []; seconds = 0. }
+  in
+  (* stage -1: the configuration itself *)
+  lint_run acc (fun () ->
+      let backend_view =
+        match config.Config.backend with
+        | Config.Ft -> Ph_lint.Check_config.Ft_view
+        | Config.Sc { coupling; _ } -> Ph_lint.Check_config.Sc_view coupling
+        | Config.Ion_trap -> Ph_lint.Check_config.Ion_trap_view
+      in
+      Ph_lint.Check_config.check ~backend:backend_view
+        ~peephole:config.Config.peephole);
+  (* stage 0: the input Pauli IR *)
+  lint_run acc (fun () -> Ph_lint.Check_ir.program prog);
+  (* stage 1: block scheduling *)
   let (layers, (sched_layers, sched_padded)), schedule_s =
     Report.timed (fun () -> schedule_layers config prog)
   in
+  lint_run acc (fun () -> Ph_lint.Check_schedule.check ~program:prog layers);
   let peephole c =
     if config.Config.peephole then
       Report.timed (fun () -> Peephole.optimize_stats c)
     else (c, { Peephole.removed = 0; rounds = 0 }), 0.
   in
-  let circuit, rotations, initial_layout, final_layout, trace =
+  (* stage 2+3: backend synthesis (plus hardware replay on SC), then the
+     generic cleanup *)
+  let circuit, rotations, initial_layout, final_layout, timings, counters =
     match config.Config.backend with
     | Config.Ft ->
       let r, synthesis_s =
         Report.timed (fun () ->
             Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers)
       in
+      lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Emit.circuit);
       let (c, pstats), peephole_s = peephole r.Emit.circuit in
       ( c,
         r.Emit.rotations,
         None,
         None,
+        (schedule_s, synthesis_s, 0., peephole_s),
         {
-          Report.schedule_s;
-          synthesis_s;
-          swap_decompose_s = 0.;
-          peephole_s;
-          counters =
-            {
-              Report.sched_layers;
-              sched_padded;
-              sc_swaps = 0;
-              peephole_removed = pstats.Peephole.removed;
-              peephole_rounds = pstats.Peephole.rounds;
-            };
+          Report.sched_layers;
+          sched_padded;
+          sc_swaps = 0;
+          peephole_removed = pstats.Peephole.removed;
+          peephole_rounds = pstats.Peephole.rounds;
         } )
     | Config.Sc { coupling; noise } ->
       let r, synthesis_s =
@@ -71,6 +102,11 @@ let compile config prog =
             Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
               layers)
       in
+      lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Sc_backend.circuit);
+      lint_run acc (fun () ->
+          Ph_lint.Check_sc.check ~coupling ~initial:r.Sc_backend.initial_layout
+            ~final:r.Sc_backend.final_layout ~claimed_swaps:r.Sc_backend.swaps
+            r.Sc_backend.circuit);
       let c, swap_decompose_s =
         Report.timed (fun () -> Circuit.decompose_swaps r.Sc_backend.circuit)
       in
@@ -79,39 +115,44 @@ let compile config prog =
         r.Sc_backend.rotations,
         Some r.Sc_backend.initial_layout,
         Some r.Sc_backend.final_layout,
+        (schedule_s, synthesis_s, swap_decompose_s, peephole_s),
         {
-          Report.schedule_s;
-          synthesis_s;
-          swap_decompose_s;
-          peephole_s;
-          counters =
-            {
-              Report.sched_layers;
-              sched_padded;
-              sc_swaps = r.Sc_backend.swaps;
-              peephole_removed = pstats.Peephole.removed;
-              peephole_rounds = pstats.Peephole.rounds;
-            };
+          Report.sched_layers;
+          sched_padded;
+          sc_swaps = r.Sc_backend.swaps;
+          peephole_removed = pstats.Peephole.removed;
+          peephole_rounds = pstats.Peephole.rounds;
         } )
     | Config.Ion_trap ->
-      (* native lowering already interleaves its own cleanup passes *)
+      (* native lowering already interleaves its own cleanup passes; the
+         generic peephole stage is not run (Config.ion_trap defaults
+         [peephole = false], and CFG001 warns when a config claims
+         otherwise) *)
       let r, synthesis_s =
         Report.timed (fun () ->
             Ion_trap.synthesize ~n_qubits:(Program.n_qubits prog) layers)
       in
+      lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Emit.circuit);
       ( r.Emit.circuit,
         r.Emit.rotations,
         None,
         None,
-        {
-          Report.schedule_s;
-          synthesis_s;
-          swap_decompose_s = 0.;
-          peephole_s = 0.;
-          counters =
-            { Report.empty_counters with Report.sched_layers; sched_padded };
-        } )
+        (schedule_s, synthesis_s, 0., 0.),
+        { Report.empty_counters with Report.sched_layers; sched_padded } )
   in
+  (* stage 4: the final circuit — structural invariants must have
+     survived SWAP decomposition and cleanup, and the Pauli-frame
+     spot-check ties the whole pipeline back to the rotation trace *)
+  lint_run acc (fun () ->
+      Ph_lint.Check_gates.circuit ~post_peephole:config.Config.peephole circuit);
+  lint_run acc (fun () ->
+      let layouts =
+        match initial_layout, final_layout with
+        | Some i, Some f -> Some (i, f)
+        | _ -> None
+      in
+      Ph_lint.Check_frame.check ?layouts ~rotations circuit);
+  let schedule_s, synthesis_s, swap_decompose_s, peephole_s = timings in
   let seconds = Unix.gettimeofday () -. t0 in
   {
     circuit;
@@ -119,10 +160,19 @@ let compile config prog =
     initial_layout;
     final_layout;
     metrics = Report.of_circuit ~seconds circuit;
-    trace;
+    trace =
+      {
+        Report.schedule_s;
+        synthesis_s;
+        swap_decompose_s;
+        peephole_s;
+        lint_s = acc.seconds;
+        counters;
+        lint = acc.diags;
+      };
   }
 
-let compile_ft ?schedule prog = compile (Config.ft ?schedule ()) prog
+let compile_ft ?schedule ?lint prog = compile (Config.ft ?schedule ?lint ()) prog
 
-let compile_sc ?schedule ?noise ~coupling prog =
-  compile (Config.sc ?schedule ?noise coupling) prog
+let compile_sc ?schedule ?noise ?lint ~coupling prog =
+  compile (Config.sc ?schedule ?noise ?lint coupling) prog

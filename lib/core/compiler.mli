@@ -25,16 +25,28 @@ type output = {
       (** per-stage wall-clock timings and pass counters of this compile *)
 }
 
-(** [compile config program]. *)
+(** [compile config program].  When [config.lint] is [Warn] or
+    [Error_level], every stage boundary runs its [Ph_lint] checker
+    (config consistency, IR well-formedness, schedule permutation and
+    layer commutation, gate invariants, SC coupling/layout replay, and
+    the final Pauli-frame spot-check); findings and checker time land in
+    [trace.lint] / [trace.lint_s].  Linting never raises — drivers
+    decide what is fatal (see {!lint_errors}). *)
 val compile : Config.t -> Program.t -> output
 
+(** Error-severity lint findings of a compile ([[]] when linting was
+    off or clean). *)
+val lint_errors : output -> Ph_lint.Diag.t list
+
 (** [compile_ft program] with default FT configuration. *)
-val compile_ft : ?schedule:Config.schedule -> Program.t -> output
+val compile_ft :
+  ?schedule:Config.schedule -> ?lint:Ph_lint.Diag.level -> Program.t -> output
 
 (** [compile_sc ~coupling program] with default SC configuration. *)
 val compile_sc :
   ?schedule:Config.schedule ->
   ?noise:Noise_model.t ->
+  ?lint:Ph_lint.Diag.level ->
   coupling:Coupling.t ->
   Program.t ->
   output

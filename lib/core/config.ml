@@ -7,11 +7,22 @@ type backend =
   | Sc of { coupling : Coupling.t; noise : Noise_model.t option }
   | Ion_trap
 
-type t = { schedule : schedule; backend : backend; peephole : bool }
+type t = {
+  schedule : schedule;
+  backend : backend;
+  peephole : bool;
+  lint : Ph_lint.Diag.level;
+}
 
-let ft ?(schedule = Gco) () = { schedule; backend = Ft; peephole = true }
+let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) () =
+  { schedule; backend = Ft; peephole = true; lint }
 
-let sc ?(schedule = Depth_oriented) ?noise coupling =
-  { schedule; backend = Sc { coupling; noise }; peephole = true }
+let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off) coupling =
+  { schedule; backend = Sc { coupling; noise }; peephole = true; lint }
 
-let ion_trap ?(schedule = Gco) () = { schedule; backend = Ion_trap; peephole = true }
+(* The ion-trap backend's native lowering interleaves its own cleanup,
+   and [Compiler.compile] does not run the generic peephole stage for
+   it; the default must say so (the linter's CFG001 flags a config that
+   claims otherwise). *)
+let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) () =
+  { schedule; backend = Ion_trap; peephole = false; lint }

@@ -1,5 +1,6 @@
-(** Compilation configurations: which scheduler, which backend, and
-    whether the generic gate-level cleanup runs afterwards. *)
+(** Compilation configurations: which scheduler, which backend, whether
+    the generic gate-level cleanup runs afterwards, and how strictly the
+    per-stage linter checks the pipeline. *)
 
 open Ph_hardware
 
@@ -19,16 +20,32 @@ type backend =
 type t = {
   schedule : schedule;
   backend : backend;
-  peephole : bool;  (** run the generic cleanup stage (default true) *)
+  peephole : bool;  (** run the generic cleanup stage (default true;
+                        ignored — and defaulted to [false] — on
+                        [Ion_trap], whose native lowering interleaves
+                        its own cleanup) *)
+  lint : Ph_lint.Diag.level;
+      (** [Off] (default): no checking.  [Warn] / [Error_level]: every
+          stage boundary of [Compiler.compile] runs its
+          [Ph_lint] checker and the findings land in
+          [Report.trace.lint]; the distinction between the two levels is
+          enforced by the drivers (phc exit code, fuzzer property, CI),
+          not by the compiler itself. *)
 }
 
 (** FT defaults: DO scheduling (the paper's headline FT configuration
     pairs naturally with either; see Table 4), peephole on. *)
-val ft : ?schedule:schedule -> unit -> t
+val ft : ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> unit -> t
 
 (** SC defaults: DO scheduling on the given device, peephole on. *)
-val sc : ?schedule:schedule -> ?noise:Noise_model.t -> Coupling.t -> t
+val sc :
+  ?schedule:schedule ->
+  ?noise:Noise_model.t ->
+  ?lint:Ph_lint.Diag.level ->
+  Coupling.t ->
+  t
 
 (** Ion-trap defaults: GCO scheduling (all-to-all, gate count is the
-    objective), peephole on. *)
-val ion_trap : ?schedule:schedule -> unit -> t
+    objective), peephole [false] — the backend never runs the generic
+    stage, and the config must not pretend it does. *)
+val ion_trap : ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> unit -> t

@@ -8,6 +8,9 @@
     - {!Report} — gate-count / depth metrics, per-pass telemetry and
       table helpers.
     - {!Json} — dependency-free JSON tree for the bench reports.
+    - {!Lint} — the per-stage IR verifier ([Ph_lint]): structured
+      diagnostics and one checker per pipeline stage, run between every
+      stage of {!Compiler.compile} when [Config.lint] is enabled.
 
     The underlying subsystem libraries ([Ph_pauli], [Ph_pauli_ir],
     [Ph_schedule], [Ph_synthesis], [Ph_hardware], [Ph_baselines],
@@ -15,6 +18,7 @@
 
 module Config = Config
 module Json = Json
+module Lint = Ph_lint
 module Report = Report
 module Compiler = Compiler
 module Pipelines = Pipelines

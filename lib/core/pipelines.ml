@@ -23,13 +23,13 @@ let of_output (o : Compiler.output) =
     trace = o.trace;
   }
 
-let ph_ft ?schedule prog = of_output (Compiler.compile_ft ?schedule prog)
+let ph_ft ?schedule ?lint prog = of_output (Compiler.compile_ft ?schedule ?lint prog)
 
-let ph_sc ?schedule ?noise coupling prog =
-  of_output (Compiler.compile_sc ?schedule ?noise ~coupling prog)
+let ph_sc ?schedule ?noise ?lint coupling prog =
+  of_output (Compiler.compile_sc ?schedule ?noise ?lint ~coupling prog)
 
-let ph_it ?schedule prog =
-  of_output (Compiler.compile (Config.ion_trap ?schedule ()) prog)
+let ph_it ?schedule ?lint prog =
+  of_output (Compiler.compile (Config.ion_trap ?schedule ?lint ()) prog)
 
 (* Trace of a baseline stage: synthesis + peephole only (plus SWAP
    decomposition on SC); scheduling counters stay zero. *)
@@ -40,6 +40,8 @@ let baseline_trace ?(synthesis_s = 0.) ?(swap_decompose_s = 0.) ?(peephole_s = 0
     synthesis_s;
     swap_decompose_s;
     peephole_s;
+    lint_s = 0.;
+    lint = [];
     counters =
       {
         Report.empty_counters with

@@ -56,7 +56,9 @@ type trace = {
   synthesis_s : float;
   swap_decompose_s : float;
   peephole_s : float;
+  lint_s : float;
   counters : pass_counters;
+  lint : Ph_lint.Diag.t list;
 }
 
 let empty_counters =
@@ -74,7 +76,9 @@ let empty_trace =
     synthesis_s = 0.;
     swap_decompose_s = 0.;
     peephole_s = 0.;
+    lint_s = 0.;
     counters = empty_counters;
+    lint = [];
   }
 
 type record = {
@@ -103,7 +107,11 @@ let trace_to_json (t : trace) =
       "synthesis_s", Json.Float t.synthesis_s;
       "swap_decompose_s", Json.Float t.swap_decompose_s;
       "peephole_s", Json.Float t.peephole_s;
+      "lint_s", Json.Float t.lint_s;
       "counters", counters_to_json t.counters;
+      "lint_errors", Json.Int (List.length (Ph_lint.Diag.errors t.lint));
+      "lint_warnings", Json.Int (List.length (Ph_lint.Diag.warnings t.lint));
+      "lint", Json.List (List.map Ph_lint.Diag.to_json t.lint);
     ]
 
 let record_to_json (r : record) =
@@ -138,7 +146,14 @@ let trace_of_json j =
     synthesis_s = f "synthesis_s";
     swap_decompose_s = f "swap_decompose_s";
     peephole_s = f "peephole_s";
+    (* lint fields are absent from pre-lint reports; default so old
+       bench JSON files still load in [bench compare] *)
+    lint_s = (match Json.member "lint_s" j with Some v -> Json.to_float v | None -> 0.);
     counters = counters_of_json (Json.get "counters" j);
+    lint =
+      (match Json.member "lint" j with
+      | Some v -> List.map Ph_lint.Diag.of_json (Json.to_list v)
+      | None -> []);
   }
 
 let record_of_json j =

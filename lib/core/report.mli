@@ -46,13 +46,18 @@ type pass_counters = {
   peephole_rounds : int;  (** peephole passes until fixpoint *)
 }
 
-(** Per-stage wall-clock timings of one compile, plus the counters. *)
+(** Per-stage wall-clock timings of one compile, plus the counters and
+    any lint diagnostics the per-stage checkers reported
+    ([lint = []] when [Config.lint = Off]). *)
 type trace = {
   schedule_s : float;
   synthesis_s : float;
   swap_decompose_s : float;
   peephole_s : float;
+  lint_s : float;  (** total time spent in [Ph_lint] checkers *)
   counters : pass_counters;
+  lint : Ph_lint.Diag.t list;  (** stage order: config, IR, schedule,
+                                   synthesis, hardware, final circuit *)
 }
 
 val empty_counters : pass_counters

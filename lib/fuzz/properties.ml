@@ -104,6 +104,44 @@ let check_pipeline ~dense_limit pl prog =
     in
     frame @ dense
 
+(* ---------- per-stage linter ---------- *)
+
+(* Every generated program must compile lint-clean at error severity on
+   both backends: warnings (identity strings, zero weights, duplicate
+   terms) are expected from the adversarial generator families, but an
+   error-severity diagnostic means some pass broke a stage invariant —
+   and, unlike the end-to-end oracles, names the stage that did. *)
+let lint ?coupling prog =
+  let dev = match coupling with Some c -> c | None -> line_for prog in
+  let configs =
+    [
+      "ft", Config.ft ~lint:Ph_lint.Diag.Error_level ();
+      "sc", Config.sc ~lint:Ph_lint.Diag.Error_level dev;
+      "it", Config.ion_trap ~lint:Ph_lint.Diag.Error_level ();
+    ]
+  in
+  List.concat_map
+    (fun (name, config) ->
+      match Compiler.compile config prog with
+      | exception e ->
+        [
+          {
+            pipeline = "lint";
+            check = name ^ "_exception";
+            detail = "lint compile raised " ^ Printexc.to_string e;
+          };
+        ]
+      | out ->
+        List.map
+          (fun (d : Ph_lint.Diag.t) ->
+            {
+              pipeline = "lint";
+              check = Printf.sprintf "%s_%s" name d.Ph_lint.Diag.code;
+              detail = Ph_lint.Diag.to_string d;
+            })
+          (Compiler.lint_errors out))
+    configs
+
 (* ---------- parse ∘ print = identity ---------- *)
 
 let program_equal a b =

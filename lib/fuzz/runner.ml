@@ -17,6 +17,8 @@ type config = {
   dense_limit : int; (* dense-oracle qubit ceiling *)
   max_qubits : int; (* generator ceiling *)
   metamorphic : bool;
+  lint : bool; (* run the per-stage linter on every case *)
+  coupling : Ph_hardware.Coupling.t option; (* SC device for the linter *)
   pipelines : Properties.pipeline list;
   out_dir : string option; (* None: don't write artifacts *)
   shrink_attempts : int;
@@ -35,6 +37,8 @@ let default_config ?coupling () =
     dense_limit = 6;
     max_qubits;
     metamorphic = true;
+    lint = true;
+    coupling;
     pipelines = Properties.default_pipelines ?coupling ();
     out_dir = Some "fuzz-failures";
     shrink_attempts = 800;
@@ -69,6 +73,7 @@ let reproduces cfg rng (case : Gen.case) (f : Properties.failure) =
   | "parser" -> fun p -> same (Properties.roundtrip ~params:case.Gen.params p)
   | "metamorphic" ->
     fun p -> same (Properties.metamorphic ~dense_limit:cfg.dense_limit rng p)
+  | "lint" -> fun p -> same (Properties.lint ?coupling:cfg.coupling p)
   | name -> (
     match List.find_opt (fun pl -> pl.Properties.name = name) cfg.pipelines with
     | Some pl ->
@@ -88,9 +93,10 @@ let run ?(log = fun _ -> ()) cfg =
       order := name :: !order;
       s
   in
-  (* fixed display order: parser, pipelines, metamorphic *)
+  (* fixed display order: parser, pipelines, lint, metamorphic *)
   ignore (stat "parser");
   List.iter (fun pl -> ignore (stat pl.Properties.name)) cfg.pipelines;
+  if cfg.lint then ignore (stat "lint");
   if cfg.metamorphic then ignore (stat "metamorphic");
   let outcomes = ref [] in
   let deadline = if cfg.time_budget_s > 0. then Some (t0 +. cfg.time_budget_s) else None in
@@ -120,6 +126,9 @@ let run ?(log = fun _ -> ()) cfg =
         collect pl.Properties.name (fun () ->
             Properties.check_pipeline ~dense_limit:cfg.dense_limit pl case.Gen.program))
       cfg.pipelines;
+    if cfg.lint then
+      collect "lint" (fun () ->
+          Properties.lint ?coupling:cfg.coupling case.Gen.program);
     if cfg.metamorphic then begin
       let meta_rng = Rng.create2 cfg.seed (0x4d455441 + !i) in
       collect "metamorphic" (fun () ->

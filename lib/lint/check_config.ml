@@ -1,0 +1,21 @@
+open Ph_hardware
+
+type backend_view = Ft_view | Sc_view of Coupling.t | Ion_trap_view
+
+let check ~backend ~peephole =
+  match backend with
+  | Ion_trap_view when peephole ->
+    [
+      Diag.warning ~code:"CFG001" Diag.Config_loc
+        "peephole = true is ignored: the ion-trap backend's native lowering \
+         interleaves its own cleanup passes";
+    ]
+  | Sc_view coupling when not (Coupling.is_connected coupling) ->
+    [
+      Diag.warning ~code:"CFG002" Diag.Config_loc
+        (Printf.sprintf
+           "the %d-qubit coupling graph is disconnected; routing across components \
+            will fail"
+           (Coupling.n_qubits coupling));
+    ]
+  | Ft_view | Sc_view _ | Ion_trap_view -> []

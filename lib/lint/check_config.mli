@@ -1,0 +1,17 @@
+(** Configuration-consistency checker (stage -1: before any pass runs).
+
+    Works on a backend-neutral view of the configuration (this library
+    sits below [Paulihedral.Config], which cannot be referenced without
+    a dependency cycle); [Compiler.compile] translates its config into
+    the view.
+
+    [CFG001] warns when a configured pass is silently ignored by the
+    chosen backend — exactly the `ion_trap` peephole dishonesty this
+    checker was written to catch.  [CFG002] warns when an SC device's
+    coupling graph is disconnected, which makes routing failures likely. *)
+
+open Ph_hardware
+
+type backend_view = Ft_view | Sc_view of Coupling.t | Ion_trap_view
+
+val check : backend:backend_view -> peephole:bool -> Diag.t list

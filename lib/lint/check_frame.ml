@@ -1,0 +1,22 @@
+let check ?layouts ~rotations c =
+  let verdict =
+    match layouts with
+    | Some (initial, final) ->
+      Ph_verify.Pauli_frame.verify_sc ~circuit:c ~trace:rotations ~initial ~final
+    | None -> Ph_verify.Pauli_frame.verify_ft c ~trace:rotations
+  in
+  match verdict with
+  | true -> []
+  | false ->
+    [
+      Diag.error ~code:"VER001" Diag.Program_loc
+        (Printf.sprintf
+           "circuit does not implement its claimed %d-rotation trace (Pauli-frame \
+            mismatch)"
+           (List.length rotations));
+    ]
+  | exception e ->
+    [
+      Diag.error ~code:"VER001" Diag.Program_loc
+        ("Pauli-frame verifier raised " ^ Printexc.to_string e);
+    ]

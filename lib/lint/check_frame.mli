@@ -1,0 +1,23 @@
+(** Cross-stage semantic spot-check (stage 4: the final circuit).
+
+    Reuses the scalable Pauli-frame verifier of [Ph_verify]: the lowered
+    circuit must implement exactly the rotation trace the synthesis
+    stage claims, with an identity (FT / ion-trap) or layout-consistent
+    permutation (SC) residual Clifford.  A failure here means some stage
+    changed the semantics while every structural invariant still held —
+    reported as [VER001] rather than a bare end-to-end mismatch, because
+    by this point the per-stage checkers have already cleared the
+    earlier pipeline. *)
+
+open Ph_pauli
+open Ph_gatelevel
+open Ph_hardware
+
+(** [check ?layouts ~rotations c] — pass [layouts:(initial, final)] for
+    SC compiles; the verifier raising (e.g. a non-Clifford gate outside
+    the supported set) is itself a [VER001] error. *)
+val check :
+  ?layouts:Layout.t * Layout.t ->
+  rotations:(Pauli_string.t * float) list ->
+  Circuit.t ->
+  Diag.t list

@@ -1,0 +1,44 @@
+open Ph_gatelevel
+
+let angle_of = function
+  | Gate.Rz (t, _) | Gate.Rx (t, _) | Gate.Ry (t, _) | Gate.Rxx (t, _, _) -> Some t
+  | Gate.H _ | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.S _ | Gate.Sdg _
+  | Gate.Cnot _ | Gate.Swap _ ->
+    None
+
+let circuit ?(post_peephole = false) c =
+  let n = Circuit.n_qubits c in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun gi g ->
+      let loc = Diag.Gate_loc gi in
+      let qs = Gate.qubits g in
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n then
+            add
+              (Diag.error ~code:"GATE001" loc
+                 (Printf.sprintf "%s addresses qubit %d outside [0, %d)"
+                    (Gate.to_string g) q n)))
+        qs;
+      (match qs with
+      | [ a; b ] when a = b ->
+        add
+          (Diag.error ~code:"GATE002" loc
+             (Printf.sprintf "%s uses the same qubit for both operands"
+                (Gate.to_string g)))
+      | _ -> ());
+      match angle_of g with
+      | Some t when not (Float.is_finite t) ->
+        add
+          (Diag.error ~code:"GATE003" loc
+             (Printf.sprintf "%s has a non-finite angle" (Gate.to_string g)))
+      | Some 0. when post_peephole ->
+        add
+          (Diag.warning ~code:"GATE004" loc
+             (Printf.sprintf "%s is a no-op the cleanup stage should have removed"
+                (Gate.to_string g)))
+      | _ -> ())
+    (Circuit.gates c);
+  List.rev !diags

@@ -1,0 +1,15 @@
+(** Gate-level checker (stage 2: the lowered circuit, any backend; also
+    re-run after SWAP decomposition and peephole cleanup, which must
+    preserve these invariants).
+
+    Errors: [GATE001] qubit index outside [0, n), [GATE002] two-qubit
+    gate with identical operands, [GATE003] non-finite rotation angle.
+    Warning: [GATE004] an exact zero-angle rotation that survived the
+    cleanup stage (only reported when the caller says the circuit is
+    post-peephole; zero rotations are expected before it). *)
+
+open Ph_gatelevel
+
+(** [circuit ?post_peephole c] — [post_peephole] (default [false])
+    additionally flags surviving zero-angle rotations. *)
+val circuit : ?post_peephole:bool -> Circuit.t -> Diag.t list

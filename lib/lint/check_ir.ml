@@ -1,0 +1,49 @@
+open Ph_pauli
+open Ph_pauli_ir
+
+let blocks ~n_qubits bs =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iteri
+    (fun bi (b : Block.t) ->
+      let param = Block.param b in
+      if not (Float.is_finite param.Block.value) then
+        add
+          (Diag.error ~code:"PIR002" (Diag.Block_loc bi)
+             (Printf.sprintf "block parameter is %h" param.Block.value));
+      let seen = Hashtbl.create 8 in
+      List.iteri
+        (fun ti (t : Pauli_term.t) ->
+          let loc = Diag.Term_loc (bi, ti) in
+          let width = Pauli_string.n_qubits t.Pauli_term.str in
+          if width <> n_qubits then
+            add
+              (Diag.error ~code:"PIR006" loc
+                 (Printf.sprintf "string %s spans %d qubits in a %d-qubit program"
+                    (Pauli_string.to_string t.Pauli_term.str)
+                    width n_qubits))
+          else begin
+            if not (Float.is_finite t.Pauli_term.coeff) then
+              add
+                (Diag.error ~code:"PIR001" loc
+                   (Printf.sprintf "term weight is %h" t.Pauli_term.coeff));
+            if Pauli_string.is_identity t.Pauli_term.str then
+              add
+                (Diag.warning ~code:"PIR003" loc
+                   "identity string contributes only a global phase");
+            if t.Pauli_term.coeff = 0. then
+              add (Diag.warning ~code:"PIR004" loc "zero-weight term is a no-op");
+            let key = Pauli_string.to_string t.Pauli_term.str in
+            (match Hashtbl.find_opt seen key with
+            | Some first ->
+              add
+                (Diag.warning ~code:"PIR005" loc
+                   (Printf.sprintf "string %s already appears as term %d of this block"
+                      key first))
+            | None -> Hashtbl.add seen key ti)
+          end)
+        (Block.terms b))
+    bs;
+  List.rev !diags
+
+let program p = blocks ~n_qubits:(Program.n_qubits p) (Program.blocks p)

@@ -1,0 +1,19 @@
+(** Pauli IR well-formedness checker (pipeline stage 0: the parsed /
+    constructed input program).
+
+    Errors: [PIR001] non-finite term weight, [PIR002] non-finite block
+    parameter, [PIR006] string width differing from the program's qubit
+    count.  Warnings: [PIR003] identity strings, [PIR004] zero weights,
+    [PIR005] duplicate strings within a block — all legal no-ops the
+    optimizer should be deleting, so worth flagging upstream. *)
+
+open Ph_pauli_ir
+
+(** [blocks ~n_qubits bs] checks a raw block list against a declared
+    program width — the form the parser and the tests use, since
+    [Program.make] already rejects some malformed inputs at
+    construction. *)
+val blocks : n_qubits:int -> Block.t list -> Diag.t list
+
+(** [program p] = [blocks ~n_qubits:(Program.n_qubits p) (Program.blocks p)]. *)
+val program : Program.t -> Diag.t list

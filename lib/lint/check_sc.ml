@@ -1,0 +1,92 @@
+open Ph_gatelevel
+open Ph_hardware
+
+(* [HW003] on one layout: logical→physical must be injective and within
+   the device, and the reverse map must agree with it. *)
+let layout_diags name coupling layout =
+  let n_phys = Coupling.n_qubits coupling in
+  let l2p = Layout.to_array layout in
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  Array.iteri
+    (fun l p ->
+      if p < 0 || p >= n_phys then
+        diags :=
+          Diag.error ~code:"HW003" (Diag.Qubit_loc l)
+            (Printf.sprintf "%s layout sends logical %d to %d, outside the %d-qubit \
+                             device"
+               name l p n_phys)
+          :: !diags
+      else begin
+        (match Hashtbl.find_opt seen p with
+        | Some l' ->
+          diags :=
+            Diag.error ~code:"HW003" (Diag.Qubit_loc l)
+              (Printf.sprintf "%s layout sends both logical %d and %d to physical %d"
+                 name l' l p)
+            :: !diags
+        | None -> Hashtbl.add seen p l);
+        match Layout.log layout p with
+        | Some l' when l' = l -> ()
+        | back ->
+          diags :=
+            Diag.error ~code:"HW003" (Diag.Qubit_loc l)
+              (Printf.sprintf
+                 "%s layout maps logical %d to physical %d, but physical %d maps back \
+                  to %s"
+                 name l p p
+                 (match back with Some l' -> string_of_int l' | None -> "nothing"))
+            :: !diags
+      end)
+    l2p;
+  List.rev !diags
+
+let check ~coupling ~initial ~final ~claimed_swaps c =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter (fun d -> add d) (layout_diags "initial" coupling initial);
+  List.iter (fun d -> add d) (layout_diags "final" coupling final);
+  let n_phys = Coupling.n_qubits coupling in
+  let replay = Layout.copy initial in
+  let swaps = ref 0 in
+  Array.iteri
+    (fun gi g ->
+      let loc = Diag.Gate_loc gi in
+      (match g with
+      | Gate.Cnot (a, b) | Gate.Swap (a, b) | Gate.Rxx (_, a, b) ->
+        if
+          a >= 0 && a < n_phys && b >= 0 && b < n_phys && a <> b
+          && not (Coupling.adjacent coupling a b)
+        then
+          add
+            (Diag.error ~code:"HW001" loc
+               (Printf.sprintf "%s acts on physical pair (%d, %d), distance %d on the \
+                                device"
+                  (Gate.to_string g) a b
+                  (Coupling.distance coupling a b)))
+      | Gate.H _ | Gate.X _ | Gate.Y _ | Gate.Z _ | Gate.S _ | Gate.Sdg _
+      | Gate.Rz _ | Gate.Rx _ | Gate.Ry _ ->
+        ());
+      match g with
+      | Gate.Swap (a, b) when a >= 0 && a < n_phys && b >= 0 && b < n_phys ->
+        incr swaps;
+        Layout.swap_physical replay a b
+      | _ -> ())
+    (Circuit.gates c);
+  if !swaps <> claimed_swaps then
+    add
+      (Diag.error ~code:"HW004" Diag.Program_loc
+         (Printf.sprintf "circuit replays %d SWAPs but the sc_swaps counter claims %d"
+            !swaps claimed_swaps));
+  let same_layout a b =
+    Layout.to_array a = Layout.to_array b
+    && Layout.n_physical a = Layout.n_physical b
+  in
+  if not (same_layout replay final) then
+    add
+      (Diag.error ~code:"HW002" Diag.Program_loc
+         (Format.asprintf
+            "replaying the circuit's SWAPs from the initial layout ends at [%a] but \
+             the backend reported [%a]"
+            Layout.pp replay Layout.pp final));
+  List.rev !diags

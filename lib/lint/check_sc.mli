@@ -1,0 +1,24 @@
+(** SC-backend checker (stage 3: the routed physical circuit, before
+    SWAP decomposition).
+
+    Replays the circuit against the device: every two-qubit gate must
+    act on a coupled physical pair ([HW001]); starting from
+    [initial_layout] and applying each SWAP, the evolved layout must
+    land exactly on the reported [final_layout] ([HW002]); both layouts
+    must be injective logical→physical embeddings into the device
+    ([HW003]); and the number of SWAPs replayed must equal the backend's
+    [sc_swaps] telemetry counter ([HW004]) — the counter the bench
+    reports and the paper's SWAP-overhead numbers are built on. *)
+
+open Ph_gatelevel
+open Ph_hardware
+
+(** [check ~coupling ~initial ~final ~claimed_swaps c] — [c] is the
+    routed circuit still containing [Swap] gates. *)
+val check :
+  coupling:Coupling.t ->
+  initial:Layout.t ->
+  final:Layout.t ->
+  claimed_swaps:int ->
+  Circuit.t ->
+  Diag.t list

@@ -1,0 +1,61 @@
+open Ph_pauli_ir
+open Ph_schedule
+
+(* Algorithm 1's layer invariant: padding blocks may stack on each
+   other's qubits (they execute sequentially, their depths add up per
+   qubit) but never on the leader's — the depth accounting and the
+   leader/padding interleaving both assume it.  Block order within a
+   layer is preserved by synthesis, so no commutation condition is
+   needed; disjointness from the leader is the whole contract. *)
+let layer_padding li (layer : Layer.t) =
+  match layer.Layer.blocks with
+  | [] | [ _ ] -> []
+  | leader :: padding ->
+    List.concat
+      (List.mapi
+         (fun pi b ->
+           if Block.disjoint leader b then []
+           else
+             [
+               Diag.error ~code:"SCH003" (Diag.Layer_loc li)
+                 (Printf.sprintf
+                    "padding block %d shares %d active qubit(s) with the layer's \
+                     leader"
+                    (pi + 1) (Block.overlap leader b));
+             ])
+         padding)
+
+let check ~program layers =
+  let empties =
+    List.concat
+      (List.mapi
+         (fun li (l : Layer.t) ->
+           if l.Layer.blocks = [] then
+             [ Diag.error ~code:"SCH002" (Diag.Layer_loc li) "layer holds no blocks" ]
+           else [])
+         layers)
+  in
+  if empties <> [] then empties
+  else
+    let multiset =
+      match Layer.to_program ~n_qubits:(Program.n_qubits program) layers with
+      | exception Invalid_argument m ->
+        [
+          Diag.error ~code:"SCH001" Diag.Program_loc
+            ("scheduled output does not rebuild into a program: " ^ m);
+        ]
+      | scheduled ->
+        if Program.same_multiset program scheduled then []
+        else
+          [
+            Diag.error ~code:"SCH001" Diag.Program_loc
+              (Printf.sprintf
+                 "scheduled output (%d blocks, %d terms) is not a permutation of the \
+                  input (%d blocks, %d terms)"
+                 (Program.block_count scheduled)
+                 (Program.term_count scheduled)
+                 (Program.block_count program)
+                 (Program.term_count program));
+          ]
+    in
+    multiset @ List.concat (List.mapi layer_padding layers)

@@ -1,0 +1,16 @@
+(** Scheduling-pass checker (stage 1: block reordering / layering).
+
+    The Pauli IR's semantics makes block reordering legal but nothing
+    else: the scheduler must emit exactly the input blocks, as a
+    permutation ([SCH001]), and every layer must be non-empty
+    ([SCH002]).  Within a layer, Algorithm 1's contract is that padding
+    blocks never touch the leader's active qubits ([SCH003]) — the depth
+    accounting and the leader/padding interleaving both assume it.
+    Padding blocks may overlap {e each other} (they execute
+    sequentially, their depths adding up per qubit), so no cross-padding
+    condition is checked. *)
+
+open Ph_pauli_ir
+open Ph_schedule
+
+val check : program:Program.t -> Layer.t list -> Diag.t list
