@@ -390,6 +390,33 @@ let ablation filters =
 
 (* ---------- Compile-time study (bechamel) ---------- *)
 
+(* Word-parallel Pauli-kernel microbenchmarks: the symplectic bitplane
+   ops the schedulers and the frame verifier spend their time in, at
+   widths from sub-word to several words (the native word holds
+   Sys.int_size - 1 = 62 qubits per plane word). *)
+let kernel_tests () =
+  let open Bechamel in
+  let open Ph_pauli in
+  (* Deterministic LCG so every run benchmarks identical strings. *)
+  let string_at ~seed n =
+    let state = ref (seed land 0x3FFFFFFF) in
+    Pauli_string.make n (fun _ ->
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        Pauli.of_code ((!state lsr 16) land 3))
+  in
+  List.concat_map
+    (fun n ->
+      let p = string_at ~seed:(0xA5 + n) n and q = string_at ~seed:(0x5A + n) n in
+      [
+        Test.make ~name:(Printf.sprintf "kernel/commutes-n%d" n)
+          (Staged.stage (fun () -> ignore (Pauli_string.commutes p q)));
+        Test.make ~name:(Printf.sprintf "kernel/overlap-n%d" n)
+          (Staged.stage (fun () -> ignore (Pauli_string.overlap p q)));
+        Test.make ~name:(Printf.sprintf "kernel/mul-n%d" n)
+          (Staged.stage (fun () -> ignore (Pauli_string.mul p q)));
+      ])
+    [ 16; 64; 80; 256 ]
+
 let timing () =
   let open Bechamel in
   let open Toolkit in
@@ -416,6 +443,7 @@ let timing () =
       Test.make ~name:"fig11/ph-REG-n7-d4"
         (stage (fun () -> ignore (ph_sc Devices.melbourne fig11_prog)));
     ]
+    @ kernel_tests ()
   in
   let test = Test.make_grouped ~name:"paulihedral" ~fmt:"%s %s" tests in
   let ols =
@@ -431,6 +459,9 @@ let timing () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) when t < 1e4 ->
+            (* kernel microbenchmarks land in the ns range *)
+            Printf.printf "%-40s %12.1f ns/run\n" name t
           | Some (t :: _) -> Printf.printf "%-40s %12.3f ms/run\n" name (t /. 1e6)
           | _ -> Printf.printf "%-40s (no estimate)\n" name)
         per_test)

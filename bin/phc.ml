@@ -60,13 +60,14 @@ let config_name backend device schedule =
   | "sc" -> Printf.sprintf "sc/%s/%s" device sched
   | b -> Printf.sprintf "%s/%s" b sched
 
-let config_for ~backend ~device ~schedule ~lint =
+let config_for ~backend ~device ~schedule ~lint ~window =
+  if window <= 0 then failwith "window must be positive";
   match backend with
-  | "ft" -> Config.ft ~schedule ~lint ()
-  | "it" -> Config.ion_trap ~schedule ~lint ()
+  | "ft" -> Config.ft ~schedule ~lint ~window ()
+  | "it" -> Config.ion_trap ~schedule ~lint ~window ()
   | "sc" ->
     (match parse_device device with
-    | Ok coupling -> Config.sc ~schedule ~lint coupling
+    | Ok coupling -> Config.sc ~schedule ~lint ~window coupling
     | Error (`Msg m) -> failwith m)
   | b -> failwith (Printf.sprintf "unknown backend %S (ft | sc | it)" b)
 
@@ -77,11 +78,14 @@ let report_lint ~lint (out : Compiler.output) =
   List.iter (fun d -> prerr_endline (Lint.Diag.to_string d)) diags;
   lint = Lint.Diag.Error_level && Compiler.lint_errors out <> []
 
-let run file backend device schedule params print_circuit no_verify lint json output =
+let run file backend device schedule window params print_circuit no_verify lint json
+    output =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
-    let out = Compiler.compile (config_for ~backend ~device ~schedule ~lint) program in
+    let out =
+      Compiler.compile (config_for ~backend ~device ~schedule ~lint ~window) program
+    in
     Ok (program, out)
   with
   | exception Sys_error m -> prerr_endline m; 1
@@ -167,6 +171,12 @@ let schedule_arg =
   Arg.(value & opt sched_conv Config.Gco & info [ "schedule"; "s" ] ~docv:"SCHEDULE"
          ~doc:"Block scheduling pass: $(b,gco), $(b,do), $(b,maxov) or $(b,none).")
 
+let window_arg =
+  Arg.(value & opt int Config.default_window & info [ "window"; "w" ] ~docv:"N"
+         ~doc:"Scan window of the window-limited schedulers (do, maxov): each \
+               leader/padding/chaining step considers at most $(docv) live \
+               candidate blocks.  Recorded in the report trace as sched_window.")
+
 let param_conv =
   Arg.conv ((fun s -> parse_param s), fun fmt (n, v) -> Format.fprintf fmt "%s=%g" n v)
 
@@ -211,8 +221,9 @@ let output_arg =
 
 let compile_term =
   Term.(
-    const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ params_arg
-    $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg $ output_arg)
+    const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ window_arg
+    $ params_arg $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg
+    $ output_arg)
 
 let compile_cmd =
   Cmd.v
@@ -227,6 +238,7 @@ let run_lint file backend device schedule params json =
     let program = Ph_pauli_ir.Parser.parse ~params source in
     let config =
       config_for ~backend ~device ~schedule ~lint:Lint.Diag.Error_level
+        ~window:Config.default_window
     in
     Ok (program, Compiler.compile config program)
   with

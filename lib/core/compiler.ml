@@ -17,6 +17,7 @@ type output = {
 let lint_errors o = Ph_lint.Diag.errors o.trace.Report.lint
 
 let schedule_layers config prog =
+  let window = config.Config.window in
   match config.Config.schedule with
   | Config.Program_order ->
     let layers = List.map Layer.of_block (Program.blocks prog) in
@@ -25,10 +26,10 @@ let schedule_layers config prog =
     let layers = Gco.schedule prog in
     layers, (List.length layers, 0)
   | Config.Depth_oriented ->
-    let layers, stats = Depth_oriented.schedule_stats prog in
+    let layers, stats = Depth_oriented.schedule_stats ~window prog in
     layers, (stats.Depth_oriented.layers, stats.Depth_oriented.padded)
   | Config.Max_overlap ->
-    let layers = Max_overlap.schedule prog in
+    let layers = Max_overlap.schedule ~window prog in
     layers, (List.length layers, 0)
 
 (* Accumulator for the verify-each checkers: when linting is enabled,
@@ -92,6 +93,7 @@ let compile config prog =
         {
           Report.sched_layers;
           sched_padded;
+          sched_window = config.Config.window;
           sc_swaps = 0;
           peephole_removed = pstats.Peephole.removed;
           peephole_rounds = pstats.Peephole.rounds;
@@ -119,6 +121,7 @@ let compile config prog =
         {
           Report.sched_layers;
           sched_padded;
+          sched_window = config.Config.window;
           sc_swaps = r.Sc_backend.swaps;
           peephole_removed = pstats.Peephole.removed;
           peephole_rounds = pstats.Peephole.rounds;
@@ -138,7 +141,12 @@ let compile config prog =
         None,
         None,
         (schedule_s, synthesis_s, 0., 0.),
-        { Report.empty_counters with Report.sched_layers; sched_padded } )
+        {
+          Report.empty_counters with
+          Report.sched_layers;
+          sched_padded;
+          sched_window = config.Config.window;
+        } )
   in
   (* stage 4: the final circuit — structural invariants must have
      survived SWAP decomposition and cleanup, and the Pauli-frame
@@ -172,7 +180,8 @@ let compile config prog =
       };
   }
 
-let compile_ft ?schedule ?lint prog = compile (Config.ft ?schedule ?lint ()) prog
+let compile_ft ?schedule ?lint ?window prog =
+  compile (Config.ft ?schedule ?lint ?window ()) prog
 
-let compile_sc ?schedule ?noise ?lint ~coupling prog =
-  compile (Config.sc ?schedule ?noise ?lint coupling) prog
+let compile_sc ?schedule ?noise ?lint ?window ~coupling prog =
+  compile (Config.sc ?schedule ?noise ?lint ?window coupling) prog

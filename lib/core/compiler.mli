@@ -40,13 +40,18 @@ val lint_errors : output -> Ph_lint.Diag.t list
 
 (** [compile_ft program] with default FT configuration. *)
 val compile_ft :
-  ?schedule:Config.schedule -> ?lint:Ph_lint.Diag.level -> Program.t -> output
+  ?schedule:Config.schedule ->
+  ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
+  Program.t ->
+  output
 
 (** [compile_sc ~coupling program] with default SC configuration. *)
 val compile_sc :
   ?schedule:Config.schedule ->
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
   coupling:Coupling.t ->
   Program.t ->
   output

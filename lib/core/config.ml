@@ -12,17 +12,22 @@ type t = {
   backend : backend;
   peephole : bool;
   lint : Ph_lint.Diag.level;
+  window : int;
 }
 
-let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) () =
-  { schedule; backend = Ft; peephole = true; lint }
+let default_window = Ph_schedule.Depth_oriented.default_window
 
-let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off) coupling =
-  { schedule; backend = Sc { coupling; noise }; peephole = true; lint }
+let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window) () =
+  { schedule; backend = Ft; peephole = true; lint; window }
+
+let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
+    ?(window = default_window) coupling =
+  { schedule; backend = Sc { coupling; noise }; peephole = true; lint; window }
 
 (* The ion-trap backend's native lowering interleaves its own cleanup,
    and [Compiler.compile] does not run the generic peephole stage for
    it; the default must say so (the linter's CFG001 flags a config that
    claims otherwise). *)
-let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) () =
-  { schedule; backend = Ion_trap; peephole = false; lint }
+let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
+    () =
+  { schedule; backend = Ion_trap; peephole = false; lint; window }

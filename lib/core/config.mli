@@ -31,21 +31,34 @@ type t = {
           [Report.trace.lint]; the distinction between the two levels is
           enforced by the drivers (phc exit code, fuzzer property, CI),
           not by the compiler itself. *)
+  window : int;
+      (** Candidate scan window of the window-limited schedulers
+          ([Depth_oriented] leader/padding scans, [Max_overlap]
+          chaining); default {!default_window}.  Recorded in
+          [Report.trace.counters] so bench runs document the knob.
+          Ignored by [Program_order] and [Gco]. *)
 }
+
+(** The schedulers' shared default scan window
+    ([Ph_schedule.Depth_oriented.default_window]). *)
+val default_window : int
 
 (** FT defaults: DO scheduling (the paper's headline FT configuration
     pairs naturally with either; see Table 4), peephole on. *)
-val ft : ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> unit -> t
+val ft :
+  ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> ?window:int -> unit -> t
 
 (** SC defaults: DO scheduling on the given device, peephole on. *)
 val sc :
   ?schedule:schedule ->
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
   Coupling.t ->
   t
 
 (** Ion-trap defaults: GCO scheduling (all-to-all, gate count is the
     objective), peephole [false] — the backend never runs the generic
     stage, and the config must not pretend it does. *)
-val ion_trap : ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> unit -> t
+val ion_trap :
+  ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> ?window:int -> unit -> t

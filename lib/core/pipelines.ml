@@ -23,13 +23,14 @@ let of_output (o : Compiler.output) =
     trace = o.trace;
   }
 
-let ph_ft ?schedule ?lint prog = of_output (Compiler.compile_ft ?schedule ?lint prog)
+let ph_ft ?schedule ?lint ?window prog =
+  of_output (Compiler.compile_ft ?schedule ?lint ?window prog)
 
-let ph_sc ?schedule ?noise ?lint coupling prog =
-  of_output (Compiler.compile_sc ?schedule ?noise ?lint ~coupling prog)
+let ph_sc ?schedule ?noise ?lint ?window coupling prog =
+  of_output (Compiler.compile_sc ?schedule ?noise ?lint ?window ~coupling prog)
 
-let ph_it ?schedule ?lint prog =
-  of_output (Compiler.compile (Config.ion_trap ?schedule ?lint ()) prog)
+let ph_it ?schedule ?lint ?window prog =
+  of_output (Compiler.compile (Config.ion_trap ?schedule ?lint ?window ()) prog)
 
 (* Trace of a baseline stage: synthesis + peephole only (plus SWAP
    decomposition on SC); scheduling counters stay zero. *)

@@ -23,13 +23,18 @@ type run = {
 (** Paulihedral on the FT backend ([schedule] defaults to GCO; [lint]
     to [Off], as in [Config.ft]). *)
 val ph_ft :
-  ?schedule:Config.schedule -> ?lint:Ph_lint.Diag.level -> Program.t -> run
+  ?schedule:Config.schedule ->
+  ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
+  Program.t ->
+  run
 
 (** Paulihedral on an SC device ([schedule] defaults to DO). *)
 val ph_sc :
   ?schedule:Config.schedule ->
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
   Coupling.t ->
   Program.t ->
   run
@@ -37,7 +42,11 @@ val ph_sc :
 (** Paulihedral on the trapped-ion backend: FT-style scheduling and
     cancellation, then lowering to native Mølmer–Sørensen gates. *)
 val ph_it :
-  ?schedule:Config.schedule -> ?lint:Ph_lint.Diag.level -> Program.t -> run
+  ?schedule:Config.schedule ->
+  ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
+  Program.t ->
+  run
 
 (** t|ket⟩-style commuting-set synthesis, FT.  [strategy] as in
     [Ph_baselines.Tk_like.compile]: [`Pairwise] (default, the tket the

@@ -46,6 +46,7 @@ let pp_metrics fmt m =
 type pass_counters = {
   sched_layers : int;
   sched_padded : int;
+  sched_window : int;
   sc_swaps : int;
   peephole_removed : int;
   peephole_rounds : int;
@@ -65,6 +66,7 @@ let empty_counters =
   {
     sched_layers = 0;
     sched_padded = 0;
+    sched_window = 0;
     sc_swaps = 0;
     peephole_removed = 0;
     peephole_rounds = 0;
@@ -95,6 +97,7 @@ let counters_to_json (c : pass_counters) =
     [
       "sched_layers", Json.Int c.sched_layers;
       "sched_padded", Json.Int c.sched_padded;
+      "sched_window", Json.Int c.sched_window;
       "sc_swaps", Json.Int c.sc_swaps;
       "peephole_removed", Json.Int c.peephole_removed;
       "peephole_rounds", Json.Int c.peephole_rounds;
@@ -134,6 +137,10 @@ let counters_of_json j =
   {
     sched_layers = int "sched_layers";
     sched_padded = int "sched_padded";
+    (* absent from pre-window reports (PR ≤ 3); default so old bench
+       JSON files still load in [bench compare] *)
+    sched_window =
+      (match Json.member "sched_window" j with Some v -> Json.to_int v | None -> 0);
     sc_swaps = int "sc_swaps";
     peephole_removed = int "peephole_removed";
     peephole_rounds = int "peephole_rounds";

@@ -41,6 +41,8 @@ val pp_metrics : Format.formatter -> metrics -> unit
 type pass_counters = {
   sched_layers : int;  (** layers formed by the scheduling pass *)
   sched_padded : int;  (** padding blocks packed by depth-oriented scheduling *)
+  sched_window : int;  (** [Config.window] scan bound the schedulers ran with
+                           ([0] in records predating the knob) *)
   sc_swaps : int;  (** SWAPs inserted by the SC backend (pre-decomposition) *)
   peephole_removed : int;  (** gates removed (cancelled + merged) by peephole *)
   peephole_rounds : int;  (** peephole passes until fixpoint *)

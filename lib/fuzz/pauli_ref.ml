@@ -1,0 +1,67 @@
+(* Byte-per-qubit reference implementation of the Pauli string algebra —
+   the oracle the symplectic bit-packed [Ph_pauli.Pauli_string] is
+   checked against (fuzzer property `pauli_ops` and
+   test/test_pauli_bits.ml).  Deliberately the naive O(n_qubits)
+   formulation the library used before the bitplane representation:
+   every operation loops one operator at a time over [Pauli.t array]s. *)
+
+open Ph_pauli
+
+type t = Pauli.t array
+
+let of_string (p : Pauli_string.t) : t = Pauli_string.to_ops p
+
+let weight (a : t) =
+  Array.fold_left (fun acc op -> if Pauli.equal op Pauli.I then acc else acc + 1) 0 a
+
+let support (a : t) =
+  List.filter (fun q -> not (Pauli.equal a.(q) Pauli.I)) (List.init (Array.length a) Fun.id)
+
+let commutes (a : t) (b : t) =
+  let anti = ref 0 in
+  Array.iteri (fun i op -> if not (Pauli.commutes op b.(i)) then incr anti) a;
+  !anti land 1 = 0
+
+let overlap (a : t) (b : t) =
+  let c = ref 0 in
+  Array.iteri
+    (fun i op -> if (not (Pauli.equal op Pauli.I)) && Pauli.equal op b.(i) then incr c)
+    a;
+  !c
+
+let shared_support (a : t) (b : t) =
+  List.filter
+    (fun q -> (not (Pauli.equal a.(q) Pauli.I)) && Pauli.equal a.(q) b.(q))
+    (List.init (Array.length a) Fun.id)
+
+let disjoint (a : t) (b : t) =
+  let clash = ref false in
+  Array.iteri
+    (fun i op ->
+      if (not (Pauli.equal op Pauli.I)) && not (Pauli.equal b.(i) Pauli.I) then
+        clash := true)
+    a;
+  not !clash
+
+(* Product with the phase accumulated one [Pauli.mul] at a time. *)
+let mul (a : t) (b : t) =
+  let phase = ref 0 in
+  let r =
+    Array.init (Array.length a) (fun i ->
+        let k, op = Pauli.mul a.(i) b.(i) in
+        phase := (!phase + k) land 3;
+        op)
+  in
+  !phase, r
+
+let compare_lex ?(rank = Pauli.paper_rank) (a : t) (b : t) =
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Stdlib.compare (rank a.(i)) (rank b.(i)) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (Array.length a - 1)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Pauli.equal a b

@@ -175,6 +175,74 @@ let roundtrip ~params prog =
         };
       ]
 
+(* ---------- bit-packed Pauli kernel vs byte-per-qubit oracle ---------- *)
+
+(* Every word-parallel [Pauli_string] operation must agree with the
+   naive byte-per-qubit reference ([Pauli_ref]) on the generated
+   program's own strings plus a few random ones of the same width; a
+   divergence here localizes a representation bug that the end-to-end
+   oracles would only see as a wrong circuit. *)
+let pauli_ops rng prog =
+  let n = Program.n_qubits prog in
+  let program_strings =
+    List.concat_map
+      (fun b -> List.map (fun (t : Pauli_term.t) -> t.Pauli_term.str) (Block.terms b))
+      (Program.blocks prog)
+  in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  let random_string () = Pauli_string.make n (fun _ -> Rng.choose rng Pauli.all) in
+  let strings =
+    Array.of_list (take 8 program_strings @ List.init 4 (fun _ -> random_string ()))
+  in
+  let fails = ref [] in
+  let expect check p q ok =
+    if not ok then
+      fails :=
+        {
+          pipeline = "pauli_ops";
+          check;
+          detail =
+            Printf.sprintf "bit-packed %s disagrees with byte oracle on %s / %s"
+              check (Pauli_string.to_string p) (Pauli_string.to_string q);
+        }
+        :: !fails
+  in
+  let sign c = Stdlib.compare c 0 in
+  Array.iter
+    (fun p ->
+      let rp = Pauli_ref.of_string p in
+      expect "weight" p p (Pauli_string.weight p = Pauli_ref.weight rp);
+      expect "support" p p (Pauli_string.support p = Pauli_ref.support rp);
+      expect "support_set" p p
+        (Qubit_set.to_list (Pauli_string.support_set p) = Pauli_ref.support rp);
+      expect "to_string" p p
+        (Pauli_string.equal p (Pauli_string.of_string (Pauli_string.to_string p))))
+    strings;
+  Array.iter
+    (fun p ->
+      let rp = Pauli_ref.of_string p in
+      Array.iter
+        (fun q ->
+          let rq = Pauli_ref.of_string q in
+          expect "commutes" p q
+            (Pauli_string.commutes p q = Pauli_ref.commutes rp rq);
+          expect "overlap" p q (Pauli_string.overlap p q = Pauli_ref.overlap rp rq);
+          expect "disjoint" p q
+            (Pauli_string.disjoint p q = Pauli_ref.disjoint rp rq);
+          expect "shared_support" p q
+            (Pauli_string.shared_support p q = Pauli_ref.shared_support rp rq);
+          expect "compare_lex" p q
+            (sign (Pauli_string.compare_lex p q) = sign (Pauli_ref.compare_lex rp rq));
+          let k, r = Pauli_string.mul p q in
+          let k', r' = Pauli_ref.mul rp rq in
+          expect "mul" p q (k = k' && Pauli_ref.equal (Pauli_string.to_ops r) r'))
+        strings)
+    strings;
+  List.rev !fails
+
 (* ---------- metamorphic permutation checks ---------- *)
 
 (* Every pair of terms across the whole program commutes: any execution

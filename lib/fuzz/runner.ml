@@ -74,6 +74,7 @@ let reproduces cfg rng (case : Gen.case) (f : Properties.failure) =
   | "metamorphic" ->
     fun p -> same (Properties.metamorphic ~dense_limit:cfg.dense_limit rng p)
   | "lint" -> fun p -> same (Properties.lint ?coupling:cfg.coupling p)
+  | "pauli_ops" -> fun p -> same (Properties.pauli_ops rng p)
   | name -> (
     match List.find_opt (fun pl -> pl.Properties.name = name) cfg.pipelines with
     | Some pl ->
@@ -93,8 +94,9 @@ let run ?(log = fun _ -> ()) cfg =
       order := name :: !order;
       s
   in
-  (* fixed display order: parser, pipelines, lint, metamorphic *)
+  (* fixed display order: parser, pauli_ops, pipelines, lint, metamorphic *)
   ignore (stat "parser");
+  ignore (stat "pauli_ops");
   List.iter (fun pl -> ignore (stat pl.Properties.name)) cfg.pipelines;
   if cfg.lint then ignore (stat "lint");
   if cfg.metamorphic then ignore (stat "metamorphic");
@@ -121,6 +123,9 @@ let run ?(log = fun _ -> ()) cfg =
     in
     collect "parser" (fun () ->
         Properties.roundtrip ~params:case.Gen.params case.Gen.program);
+    let pauli_rng = Rng.create2 cfg.seed (0xb175 + !i) in
+    collect "pauli_ops" (fun () ->
+        Properties.pauli_ops pauli_rng case.Gen.program);
     List.iter
       (fun pl ->
         collect pl.Properties.name (fun () ->

@@ -52,6 +52,10 @@ val to_string : t -> string
     ascending order. *)
 val support : t -> int list
 
+(** [support_set p] is {!support} as a {!Qubit_set.t} — the occupancy
+    form the schedulers consume. *)
+val support_set : t -> Qubit_set.t
+
 (** [weight p] is the number of non-identity operators in [p]. *)
 val weight : t -> int
 

@@ -1,0 +1,81 @@
+type t = { n : int; words : int array }
+
+let create n =
+  if n <= 0 then invalid_arg "Qubit_set.create: n must be positive";
+  { n; words = Array.make (Bits.words_for n) 0 }
+
+let capacity s = s.n
+
+let check_qubit s q =
+  if q < 0 || q >= s.n then invalid_arg (Printf.sprintf "Qubit_set: qubit %d" q)
+
+let mem s q =
+  check_qubit s q;
+  s.words.(Bits.word_of q) land (1 lsl Bits.bit_of q) <> 0
+
+let add s q =
+  check_qubit s q;
+  s.words.(Bits.word_of q) <- s.words.(Bits.word_of q) lor (1 lsl Bits.bit_of q)
+
+let of_words n words =
+  if n <= 0 then invalid_arg "Qubit_set.of_words: n must be positive";
+  if Array.length words <> Bits.words_for n then
+    invalid_arg "Qubit_set.of_words: word count";
+  { n; words }
+
+let of_list n qs =
+  let s = create n in
+  List.iter (add s) qs;
+  s
+
+let check_same a b =
+  if a.n <> b.n then invalid_arg "Qubit_set: capacity mismatch"
+
+let union_into dst src =
+  check_same dst src;
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let copy s = { s with words = Array.copy s.words }
+
+let union a b =
+  let r = copy a in
+  union_into r b;
+  r
+
+let inter a b =
+  check_same a b;
+  { a with words = Array.init (Array.length a.words) (fun w -> a.words.(w) land b.words.(w)) }
+
+let disjoint a b =
+  check_same a b;
+  let rec go w =
+    w >= Array.length a.words
+    || (a.words.(w) land b.words.(w) = 0 && go (w + 1))
+  in
+  go 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + Bits.popcount w) 0 s.words
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let iter f s =
+  Array.iteri (fun w bits -> Bits.iter_bits (w * Bits.word_bits) bits f) s.words
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun q -> acc := f q !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun q acc -> q :: acc) s [])
+
+let max_over s arr =
+  if Array.length arr <> s.n then invalid_arg "Qubit_set.max_over: array size";
+  fold (fun q acc -> max acc (Array.unsafe_get arr q)) s 0
+
+let set_over s arr v =
+  if Array.length arr <> s.n then invalid_arg "Qubit_set.set_over: array size";
+  iter (fun q -> Array.unsafe_set arr q v) s
+
+let equal a b = a.n = b.n && a.words = b.words

@@ -1,0 +1,61 @@
+(** Bitset over the qubits of an [n]-qubit program.
+
+    The schedulers track qubit occupancy (which qubits a layer's leader
+    touches, which region a candidate padding block would stack onto) at
+    every step of their window-limited scans; a flat bitset makes the
+    membership/disjointness queries word-parallel instead of per-qubit
+    list and hash-table traversals.
+
+    Sets are mutable; the pure operations ({!union}, {!inter}) allocate. *)
+
+type t
+
+(** [create n] is the empty set over qubits [0..n-1]. *)
+val create : int -> t
+
+val capacity : t -> int
+
+val of_list : int -> int list -> t
+
+(**/**)
+
+(** Internal constructor used by [Pauli_string.support_set]: takes
+    ownership of [words] (length [Bits.words_for n], bits ≥ [n] zero). *)
+val of_words : int -> int array -> t
+
+(**/**)
+
+(** Ascending. *)
+val to_list : t -> int list
+
+val mem : t -> int -> bool
+
+(** In-place. *)
+val add : t -> int -> unit
+
+(** [union_into dst src] — [dst ∪= src] in place.
+    @raise Invalid_argument on capacity mismatch. *)
+val union_into : t -> t -> unit
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [disjoint a b] — no common member; word-parallel. *)
+val disjoint : t -> t -> bool
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [max_over s arr] is the maximum of [arr.(q)] over members [q] of [s]
+    ([0] on the empty set) — the depth-oriented scheduler's per-layer
+    load query.  [arr] must have length [capacity s]. *)
+val max_over : t -> int array -> int
+
+(** [set_over s arr v] stores [v] into [arr.(q)] for every member [q]. *)
+val set_over : t -> int array -> int -> unit
+
+val copy : t -> t
+val equal : t -> t -> bool

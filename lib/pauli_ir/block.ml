@@ -24,16 +24,17 @@ let term_count b = List.length b.terms
 let terms b = b.terms
 let param b = b.param
 
-let active_qubits b =
-  let n = n_qubits b in
-  let active = Array.make n false in
+let active_set b =
+  let acc = Qubit_set.create (n_qubits b) in
   List.iter
     (fun (t : Pauli_term.t) ->
-      List.iter (fun q -> active.(q) <- true) (Pauli_string.support t.str))
+      Qubit_set.union_into acc (Pauli_string.support_set t.str))
     b.terms;
-  List.filter (fun q -> active.(q)) (List.init n Fun.id)
+  acc
 
-let active_length b = List.length (active_qubits b)
+let active_qubits b = Qubit_set.to_list (active_set b)
+
+let active_length b = Qubit_set.cardinal (active_set b)
 
 let core_qubits b =
   let n = n_qubits b in
@@ -48,20 +49,18 @@ let core_qubits b =
 
 let representative b = List.hd b.terms
 
+let rec last = function [ t ] -> t | _ :: rest -> last rest | [] -> assert false
+
+let last_term b = last b.terms
+
 let sort_terms_lex ?rank b =
   { b with terms = List.sort (Pauli_term.compare_lex ?rank) b.terms }
 
 let with_terms b terms = make terms b.param
 
-let disjoint a b =
-  let qa = active_qubits a in
-  let qb = active_qubits b in
-  not (List.exists (fun q -> List.mem q qb) qa)
+let disjoint a b = Qubit_set.disjoint (active_set a) (active_set b)
 
-let overlap a b =
-  let last = List.nth a.terms (List.length a.terms - 1) in
-  let first = List.hd b.terms in
-  Pauli_string.overlap last.str first.str
+let overlap a b = Pauli_string.overlap (last_term a).str (representative b).str
 
 let mutually_commuting b =
   let rec go = function

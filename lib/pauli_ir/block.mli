@@ -28,6 +28,10 @@ val param : t -> param
     the "active qubits" of Section 5.2, ascending. *)
 val active_qubits : t -> int list
 
+(** {!active_qubits} as a bitset — what the schedulers' occupancy and
+    disjointness queries consume. *)
+val active_set : t -> Ph_pauli.Qubit_set.t
+
 (** [active_length b] = |{!active_qubits}|, the sort key of the
     depth-oriented scheduler (Algorithm 1). *)
 val active_length : t -> int
@@ -39,6 +43,10 @@ val core_qubits : t -> int list
 (** First term (blocks compare through it after lexicographic
     sorting, Section 4.1). *)
 val representative : t -> Ph_pauli.Pauli_term.t
+
+(** Last term — the scheduling-affinity tail (one pass, no
+    [List.nth]-per-query). *)
+val last_term : t -> Ph_pauli.Pauli_term.t
 
 (** Sort the block's terms lexicographically (paper rank by default). *)
 val sort_terms_lex : ?rank:(Ph_pauli.Pauli.t -> int) -> t -> t

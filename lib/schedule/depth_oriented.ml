@@ -1,14 +1,16 @@
+open Ph_pauli
 open Ph_pauli_ir
 
 (* The argmax / padding scans are window-limited so that scheduling stays
    near-linear on the paper's largest inputs (tens of thousands of
    blocks); within the active-length-sorted order, far-away blocks are
-   poor candidates anyway. *)
-let scan_window = 512
+   poor candidates anyway.  The default is shared with [Max_overlap] and
+   surfaced as `phc compile --window N` via [Config]. *)
+let default_window = 512
 
 type stats = { layers : int; padded : int }
 
-let schedule_stats ?rank ?(padding = true) prog =
+let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
   let blocks =
     List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
     |> List.stable_sort (fun a b ->
@@ -20,6 +22,14 @@ let schedule_stats ?rank ?(padding = true) prog =
     |> Array.of_list
   in
   let m = Array.length blocks in
+  let n = Program.n_qubits prog in
+  (* Per-block scheduling features, computed once: the occupancy bitset
+     and depth estimate feed every padding scan, the tail string every
+     leader scan. *)
+  let active = Array.map Block.active_set blocks in
+  let depth = Array.map Layer.est_block_depth blocks in
+  let head = Array.map (fun b -> (Block.representative b).Pauli_term.str) blocks in
+  let tail = Array.map (fun b -> (Block.last_term b).Pauli_term.str) blocks in
   let alive = Array.make m true in
   let n_alive = ref m in
   let first_alive = ref 0 in
@@ -34,11 +44,11 @@ let schedule_stats ?rank ?(padding = true) prog =
     advance ()
   in
   (* Fold over alive indices starting at [first_alive], visiting at most
-     [scan_window] live blocks. *)
+     [window] live blocks. *)
   let scan_alive f =
     let visited = ref 0 in
     let i = ref !first_alive in
-    while !i < m && !visited < scan_window do
+    while !i < m && !visited < window do
       if alive.(!i) then begin
         incr visited;
         f !i
@@ -47,16 +57,29 @@ let schedule_stats ?rank ?(padding = true) prog =
     done
   in
   let layers = ref [] in
+  (* Tail strings of the previous layer's blocks, kept alongside so the
+     leader scan multiplies bitplanes instead of walking term lists. *)
+  let last_tails = ref [] in
   let n_padded = ref 0 in
+  (* Padding blocks may stack on the same qubits as each other (their
+     depths then add up per qubit) but never on the leader's; a candidate
+     fits while its qubit region's accumulated depth stays within the
+     leader's estimated depth.  [load] is dense per-qubit; only the slots
+     touched by the previous layer are reset between rounds. *)
+  let load = Array.make n 0 in
   while !n_alive > 0 do
     (* Leader: best overlap with the previous layer's tail strings. *)
     let leader_idx =
-      match !layers with
+      match !last_tails with
       | [] -> !first_alive
-      | last :: _ ->
+      | tails ->
         let best = ref !first_alive and best_ov = ref (-1) in
         scan_alive (fun i ->
-            let ov = Layer.overlap_with_tail last blocks.(i) in
+            let ov =
+              List.fold_left
+                (fun acc t -> max acc (Pauli_string.overlap t head.(i)))
+                0 tails
+            in
             if ov > !best_ov then begin
               best_ov := ov;
               best := i
@@ -64,45 +87,36 @@ let schedule_stats ?rank ?(padding = true) prog =
         !best
     in
     let leader = blocks.(leader_idx) in
+    let occupied = active.(leader_idx) in
     take leader_idx;
     let chosen = ref [ leader ] in
+    let tails = ref [ tail.(leader_idx) ] in
     if padding && !n_alive > 0 then begin
-      let leader_active = Block.active_qubits leader in
-      let occupied = Hashtbl.create 16 in
-      List.iter (fun q -> Hashtbl.replace occupied q ()) leader_active;
-      let budget = Layer.est_block_depth leader in
-      (* Padding blocks may stack on the same qubits as each other (their
-         depths then add up per qubit) but never on the leader's; a
-         candidate fits while its qubit region's accumulated depth stays
-         within the leader's estimated depth. *)
-      let load = Hashtbl.create 16 in
-      let load_of q = Option.value ~default:0 (Hashtbl.find_opt load q) in
-      let picked = ref [] in
+      let budget = depth.(leader_idx) in
+      let touched = ref [] in
       scan_alive (fun i ->
-          let b = blocks.(i) in
-          let d = Layer.est_block_depth b in
-          let active = Block.active_qubits b in
-          let current = List.fold_left (fun acc q -> max acc (load_of q)) 0 active in
-          if
-            current + d <= budget
-            && not (List.exists (Hashtbl.mem occupied) active)
+          let qs = active.(i) in
+          let current = Qubit_set.max_over qs load in
+          if current + depth.(i) <= budget && Qubit_set.disjoint occupied qs
           then begin
-            List.iter (fun q -> Hashtbl.replace load q (current + d)) active;
-            picked := i :: !picked
+            Qubit_set.set_over qs load (current + depth.(i));
+            touched := qs :: !touched;
+            chosen := blocks.(i) :: !chosen;
+            tails := tail.(i) :: !tails;
+            incr n_padded;
+            take i
           end);
-      List.iter
-        (fun i ->
-          chosen := blocks.(i) :: !chosen;
-          incr n_padded;
-          take i)
-        (List.rev !picked)
+      List.iter (fun qs -> Qubit_set.set_over qs load 0) !touched
     end;
+    last_tails := !tails;
     layers := Layer.make (List.rev !chosen) :: !layers
   done;
   let layers = List.rev !layers in
   layers, { layers = List.length layers; padded = !n_padded }
 
-let schedule ?rank ?padding prog = fst (schedule_stats ?rank ?padding prog)
+let schedule ?rank ?padding ?window prog =
+  fst (schedule_stats ?rank ?padding ?window prog)
 
-let run ?rank ?padding prog =
-  Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank ?padding prog)
+let run ?rank ?padding ?window prog =
+  Layer.to_program ~n_qubits:(Program.n_qubits prog)
+    (schedule ?rank ?padding ?window prog)

@@ -14,13 +14,32 @@ open Ph_pauli_ir
     program's block count). *)
 type stats = { layers : int; padded : int }
 
-(** [schedule ?padding p] — set [padding:false] to ablate Algorithm 1's
-    lines 7–10 (every layer is then a single block, but in DO order). *)
+(** Default leader/padding scan window, shared with [Max_overlap] and
+    overridable through [Config] / `phc compile --window N`. *)
+val default_window : int
+
+(** [schedule ?padding ?window p] — set [padding:false] to ablate
+    Algorithm 1's lines 7–10 (every layer is then a single block, but in
+    DO order); [window] bounds both the leader and the padding candidate
+    scans (default {!default_window}). *)
 val schedule :
-  ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Layer.t list
+  ?rank:(Ph_pauli.Pauli.t -> int) ->
+  ?padding:bool ->
+  ?window:int ->
+  Program.t ->
+  Layer.t list
 
 (** {!schedule} returning its {!stats}. *)
 val schedule_stats :
-  ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Layer.t list * stats
+  ?rank:(Ph_pauli.Pauli.t -> int) ->
+  ?padding:bool ->
+  ?window:int ->
+  Program.t ->
+  Layer.t list * stats
 
-val run : ?rank:(Ph_pauli.Pauli.t -> int) -> ?padding:bool -> Program.t -> Program.t
+val run :
+  ?rank:(Ph_pauli.Pauli.t -> int) ->
+  ?padding:bool ->
+  ?window:int ->
+  Program.t ->
+  Program.t

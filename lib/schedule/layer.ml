@@ -12,8 +12,15 @@ let make blocks =
 let leader l = List.hd l.blocks
 let padding l = List.tl l.blocks
 
-let active_qubits l =
-  List.sort_uniq Stdlib.compare (List.concat_map Block.active_qubits l.blocks)
+let active_set l =
+  match l.blocks with
+  | [] -> invalid_arg "Layer.active_set: empty layer"
+  | b :: rest ->
+    let acc = Block.active_set b in
+    List.iter (fun b -> Qubit_set.union_into acc (Block.active_set b)) rest;
+    acc
+
+let active_qubits l = Qubit_set.to_list (active_set l)
 
 let est_block_depth b =
   List.fold_left
@@ -26,9 +33,9 @@ let overlap_with_tail l b =
   let first = (Block.representative b : Pauli_term.t) in
   List.fold_left
     (fun acc blk ->
-      let terms = Block.terms blk in
-      let last = List.nth terms (List.length terms - 1) in
-      max acc (Pauli_string.overlap last.Pauli_term.str first.Pauli_term.str))
+      max acc
+        (Pauli_string.overlap (Block.last_term blk).Pauli_term.str
+           first.Pauli_term.str))
     0 l.blocks
 
 let flatten layers = List.concat_map (fun l -> l.blocks) layers

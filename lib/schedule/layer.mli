@@ -19,6 +19,9 @@ val padding : t -> Block.t list
 (** Union of the blocks' active qubits. *)
 val active_qubits : t -> int list
 
+(** Same union as a bitset. *)
+val active_set : t -> Ph_pauli.Qubit_set.t
+
 (** Cheap depth estimate of a block before lowering: each string of
     weight [w] contributes [2(w−1)] CNOT levels plus the rotation. *)
 val est_block_depth : Block.t -> int

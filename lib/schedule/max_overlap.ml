@@ -1,7 +1,7 @@
 open Ph_pauli
 open Ph_pauli_ir
 
-let schedule ?rank ?(window = 512) prog =
+let schedule ?rank ?(window = Depth_oriented.default_window) prog =
   (* Start from the lexicographic order (a good tour already), then chain
      greedily: the window scans the not-yet-scheduled blocks in that
      order, so candidates stay similar to the current tail. *)
@@ -19,10 +19,7 @@ let schedule ?rank ?(window = 512) prog =
       incr first_alive
     done
   in
-  let last_string (b : Block.t) =
-    let terms = Block.terms b in
-    (List.nth terms (List.length terms - 1)).Pauli_term.str
-  in
+  let last_string (b : Block.t) = (Block.last_term b).Pauli_term.str in
   let out = ref [] in
   let tail = ref None in
   for _ = 1 to m do

@@ -1,0 +1,149 @@
+(* Randomized parity suite for the symplectic bit-packed Pauli kernel:
+   every word-parallel [Pauli_string] operation is checked against the
+   byte-per-qubit reference [Ph_fuzz.Pauli_ref] on widths chosen to
+   straddle the native word size (Sys.int_size - 1 usable bits per
+   plane word), so partial-last-word masking bugs cannot hide. *)
+
+open Ph_pauli
+module Pauli_ref = Ph_fuzz.Pauli_ref
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let word_bits = Sys.int_size - 1
+
+(* Widths around every interesting boundary: tiny, one bit below /
+   at / above a word, and a multi-word width not divisible by the
+   word size. *)
+let widths =
+  [ 1; 2; 7; 16; word_bits - 1; word_bits; word_bits + 1; (2 * word_bits) - 3; 80; 256 ]
+
+let gen_op = QCheck.Gen.oneofl Pauli.all
+
+let gen_pair n = QCheck.Gen.(pair (array_size (return n) gen_op) (array_size (return n) gen_op))
+
+let arb_pair n =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s / %s"
+        (Pauli_string.to_string (Pauli_string.of_ops a))
+        (Pauli_string.to_string (Pauli_string.of_ops b)))
+    (gen_pair n)
+
+let sign c = Stdlib.compare c 0
+
+(* One QCheck property per width: build the packed strings from the raw
+   op arrays and compare every operation against the naive oracle. *)
+let prop_parity n =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "bit-packed ops match byte oracle (n=%d)" n)
+    ~count:120 (arb_pair n)
+    (fun (a, b) ->
+      let p = Pauli_string.of_ops a in
+      Pauli_string.weight p = Pauli_ref.weight a
+      && Pauli_string.support p = Pauli_ref.support a
+      && Qubit_set.to_list (Pauli_string.support_set p) = Pauli_ref.support a
+      && Pauli_string.is_identity p = (Pauli_ref.weight a = 0)
+      && Pauli_string.to_ops p = a
+      && Pauli_string.equal p (Pauli_string.of_string (Pauli_string.to_string p))
+      && Pauli_string.weight (Pauli_string.of_ops b) = Pauli_ref.weight b)
+
+let prop_pair_parity n =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "bit-packed pair ops match byte oracle (n=%d)" n)
+    ~count:120 (arb_pair n)
+    (fun (a, b) ->
+      let p = Pauli_string.of_ops a and q = Pauli_string.of_ops b in
+      let ra = (a : Pauli_ref.t) and rb = (b : Pauli_ref.t) in
+      Pauli_string.commutes p q = Pauli_ref.commutes ra rb
+      && Pauli_string.overlap p q = Pauli_ref.overlap ra rb
+      && Pauli_string.disjoint p q = Pauli_ref.disjoint ra rb
+      && Pauli_string.shared_support p q = Pauli_ref.shared_support ra rb
+      && sign (Pauli_string.compare_lex p q) = sign (Pauli_ref.compare_lex ra rb)
+      &&
+      let k, r = Pauli_string.mul p q in
+      let k', r' = Pauli_ref.mul ra rb in
+      k = k' && Pauli_ref.equal (Pauli_string.to_ops r) r')
+
+(* compare_lex must agree with the oracle under a non-injective custom
+   rank too — the word-skip fast path may only trigger on identical
+   words, never on rank-equal-but-distinct operators. *)
+let prop_compare_custom_rank n =
+  let rank p = if Pauli.equal p Pauli.I then 1 else 0 in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "compare_lex custom rank matches oracle (n=%d)" n)
+    ~count:120 (arb_pair n)
+    (fun (a, b) ->
+      let p = Pauli_string.of_ops a and q = Pauli_string.of_ops b in
+      sign (Pauli_string.compare_lex ~rank p q)
+      = sign (Pauli_ref.compare_lex ~rank (a : Pauli_ref.t) b))
+
+(* --- deterministic edge cases --- *)
+
+let test_last_word_masking () =
+  (* All-Y strings at widths straddling the word boundary: every plane
+     bit below n set, none at or above n.  weight and self-mul expose a
+     stray high bit immediately. *)
+  List.iter
+    (fun n ->
+      let p = Pauli_string.make n (fun _ -> Pauli.Y) in
+      check_int (Printf.sprintf "weight all-Y n=%d" n) n (Pauli_string.weight p);
+      let k, r = Pauli_string.mul p p in
+      check_int (Printf.sprintf "Y^2 phase n=%d" n) 0 k;
+      check (Printf.sprintf "Y^2 identity n=%d" n) true (Pauli_string.is_identity r);
+      check (Printf.sprintf "self-commutes n=%d" n) true (Pauli_string.commutes p p))
+    widths
+
+let test_single_qubit_boundaries () =
+  (* An X on the last qubit of each width must be seen by get/support
+     and anticommute with a Z there. *)
+  List.iter
+    (fun n ->
+      let x = Pauli_string.of_support n [ n - 1, Pauli.X ] in
+      let z = Pauli_string.of_support n [ n - 1, Pauli.Z ] in
+      check (Printf.sprintf "get top X n=%d" n) true
+        (Pauli.equal (Pauli_string.get x (n - 1)) Pauli.X);
+      check (Printf.sprintf "support top n=%d" n) true
+        (Pauli_string.support x = [ n - 1 ]);
+      check (Printf.sprintf "XZ anticommute at top n=%d" n) false
+        (Pauli_string.commutes x z))
+    widths
+
+let test_qubit_set_ops () =
+  let n = word_bits + 5 in
+  let a = Qubit_set.of_list n [ 0; 3; word_bits - 1; word_bits; n - 1 ] in
+  let b = Qubit_set.of_list n [ 3; word_bits; n - 2 ] in
+  check_int "cardinal" 5 (Qubit_set.cardinal a);
+  check "mem across words" true
+    (Qubit_set.mem a word_bits && Qubit_set.mem a (n - 1) && not (Qubit_set.mem a 1));
+  check "inter" true
+    (Qubit_set.to_list (Qubit_set.inter a b) = [ 3; word_bits ]);
+  check "union" true
+    (Qubit_set.to_list (Qubit_set.union a b)
+    = [ 0; 3; word_bits - 1; word_bits; n - 2; n - 1 ]);
+  check "not disjoint" false (Qubit_set.disjoint a b);
+  check "disjoint with complementary" true
+    (Qubit_set.disjoint a (Qubit_set.of_list n [ 1; 2; n - 2 ]));
+  let load = Array.make n 0 in
+  Qubit_set.set_over a load 7;
+  check_int "max_over after set_over" 7 (Qubit_set.max_over b load);
+  check_int "max_over on empty set" 0 (Qubit_set.max_over (Qubit_set.create n) load)
+
+let () =
+  let parity n = qcheck (prop_parity n) in
+  let pair_parity n = qcheck (prop_pair_parity n) in
+  let custom n = qcheck (prop_compare_custom_rank n) in
+  Alcotest.run "pauli_bits"
+    [
+      "unary parity", List.map parity widths;
+      "pair parity", List.map pair_parity widths;
+      "compare custom rank", List.map custom [ 7; word_bits; word_bits + 1; 80 ];
+      ( "edge cases",
+        [
+          Alcotest.test_case "last-word masking" `Quick test_last_word_masking;
+          Alcotest.test_case "boundary qubits" `Quick test_single_qubit_boundaries;
+          Alcotest.test_case "qubit_set ops" `Quick test_qubit_set_ops;
+        ] );
+    ]
