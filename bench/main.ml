@@ -36,21 +36,6 @@ let row name cols =
   List.iter (fun c -> Printf.printf " %12s" c) cols;
   print_newline ()
 
-let metrics_cols ?(time = true) (r : Pipelines.run) =
-  let m = r.Pipelines.metrics in
-  let base =
-    [
-      string_of_int m.Report.cnot;
-      string_of_int m.Report.single;
-      string_of_int m.Report.total;
-      string_of_int m.Report.depth;
-    ]
-  in
-  if time then base @ [ Printf.sprintf "%.2f" m.Report.seconds ] else base
-
-let checked (r : Pipelines.run) name =
-  if Pipelines.verified r then name else name ^ " !UNVERIFIED"
-
 let wanted filters (b : Suite.t) =
   filters = [] || List.mem b.Suite.name filters
 
@@ -60,20 +45,6 @@ let pct a b = Printf.sprintf "%+.1f%%" (Report.delta a b)
 
 let json_enabled = ref false
 let json_records : Json.t list ref = ref []
-
-let record ~bench ~config prog (r : Pipelines.run) =
-  if !json_enabled then
-    json_records :=
-      Report.record_to_json
-        {
-          Report.bench;
-          config;
-          qubits = Program.n_qubits prog;
-          paulis = Program.term_count prog;
-          metrics = r.Pipelines.metrics;
-          trace = r.Pipelines.trace;
-        }
-      :: !json_records
 
 let write_json path =
   let oc = open_out path in
@@ -98,109 +69,242 @@ let ph_sc ?schedule device prog =
 
 let ph_it prog = Pipelines.ph_it ~lint:(lint_level ()) prog
 
+(* ---------- pooled tables & record cache (--jobs / --cache) ---------- *)
+
+let bench_jobs = ref 1
+let bench_cache : Ph_pool.Cache.t option ref = ref None
+
+(* One (benchmark, config) cell of a table: everything the row printers
+   and the --json report need, whether the compile ran here or the
+   record came out of the cache. *)
+type cell = { c_record : Report.record; c_verified : bool }
+
+let cell ~bench ~config prog (r : Pipelines.run) =
+  {
+    c_record =
+      {
+        Report.bench;
+        config;
+        qubits = Program.n_qubits prog;
+        paulis = Program.term_count prog;
+        metrics = r.Pipelines.metrics;
+        trace = r.Pipelines.trace;
+      };
+    c_verified = Pipelines.verified r;
+  }
+
+(* Cache fingerprints.  The PH pipelines reconstruct the exact [Config]
+   that [Pipelines.ph_*] builds, so [Config.fingerprint] describes the
+   compile faithfully; the baselines are not config-driven and get a
+   synthetic tag (with the device identity folded in where routing
+   matters).  Both embed [Config.version_tag], so a version bump
+   invalidates every entry. *)
+let fp_ph_ft ?schedule () =
+  Config.fingerprint (Config.ft ?schedule ~lint:(lint_level ()) ())
+
+let fp_ph_sc ?schedule device =
+  Config.fingerprint (Config.sc ?schedule ~lint:(lint_level ()) device)
+
+let fp_baseline ?device tag =
+  Printf.sprintf "v=%s;baseline=%s%s" Config.version_tag tag
+    (match device with
+    | None -> ""
+    | Some d -> ";" ^ Config.fingerprint (Config.sc d))
+
+(* Run one cell through the record cache when --cache is given.  Only
+   verified runs are stored (same payload shape as the phc batch
+   cache), so a hit is trusted without recompiling; the stored record
+   may carry another table's row identity, so relabel it. *)
+let cached ~bench ~config ~fp prog (f : unit -> Pipelines.run) =
+  match !bench_cache with
+  | None -> cell ~bench ~config prog (f ())
+  | Some cache ->
+    let key =
+      Ph_pool.Cache.key ~config_fp:fp ~text:(Ph_pool.Batch.canonical_text prog)
+    in
+    let compile () =
+      let c = cell ~bench ~config prog (f ()) in
+      if c.c_verified then
+        Ph_pool.Cache.store cache key
+          (Json.Obj
+             [
+               "verified", Json.Bool true;
+               "record", Report.record_to_json c.c_record;
+             ]);
+      c
+    in
+    (match Ph_pool.Cache.find cache key with
+    | None -> compile ()
+    | Some payload ->
+      (match Report.record_of_json (Json.get "record" payload) with
+      | r -> { c_record = { r with Report.bench; config }; c_verified = true }
+      | exception Json.Parse_error _ -> compile ()))
+
+let emit_cell c =
+  if !json_enabled then
+    json_records := Report.record_to_json c.c_record :: !json_records
+
+let cell_cols ?(time = true) c =
+  let m = c.c_record.Report.metrics in
+  let base =
+    [
+      string_of_int m.Report.cnot;
+      string_of_int m.Report.single;
+      string_of_int m.Report.total;
+      string_of_int m.Report.depth;
+    ]
+  in
+  if time then base @ [ Printf.sprintf "%.2f" m.Report.seconds ] else base
+
+let cell_checked c name =
+  if c.c_verified then name else name ^ " !UNVERIFIED"
+
+(* Fan per-benchmark table work across the domain pool; cells (--json
+   records) and rows merge on the coordinator in suite order, so the
+   table and the report are identical whatever --jobs was.  Within one
+   table every cell has a distinct cache key, so cold-cache counter
+   totals are deterministic too.  A worker exception re-raises here:
+   bench inputs are trusted, fault isolation is `phc batch`'s job. *)
+let pooled items f =
+  List.iter
+    (function
+      | Stdlib.Ok (cells, rows) ->
+        List.iter emit_cell cells;
+        List.iter (fun (name, cols) -> row name cols) rows
+      | Stdlib.Error e -> raise e)
+    (Ph_pool.Pool.map ~jobs:!bench_jobs f items)
+
 (* ---------- Table 1: benchmark information ---------- *)
 
 let table1 filters =
   header "Table 1: benchmark information (naive lowering, no optimization)"
     [ "qubits"; "pauli#"; "cnot#"; "single#" ];
-  List.iter
+  pooled
+    (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
-      if wanted filters b then begin
-        let prog = b.Suite.generate () in
-        let naive = Ph_synthesis.Naive.synthesize prog in
-        let c = naive.Ph_synthesis.Emit.circuit in
-        row b.Suite.name
-          [
-            string_of_int (Program.n_qubits prog);
-            string_of_int (Program.term_count prog);
-            string_of_int (Ph_gatelevel.Circuit.cnot_count c);
-            string_of_int (Ph_gatelevel.Circuit.single_qubit_count c);
-          ]
-      end)
-    (Suite.all ())
+      let prog = b.Suite.generate () in
+      let naive = Ph_synthesis.Naive.synthesize prog in
+      let c = naive.Ph_synthesis.Emit.circuit in
+      ( [],
+        [
+          ( b.Suite.name,
+            [
+              string_of_int (Program.n_qubits prog);
+              string_of_int (Program.term_count prog);
+              string_of_int (Ph_gatelevel.Circuit.cnot_count c);
+              string_of_int (Ph_gatelevel.Circuit.single_qubit_count c);
+            ] );
+        ] ))
 
 (* ---------- Table 2: PH vs TK on both backends ---------- *)
 
 let table2_sc filters =
   header "Table 2 (SC backend, Manhattan-65): PH vs TK, each + generic stage"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  List.iter
+  pooled
+    (List.filter (wanted filters) (Suite.sc ()))
     (fun (b : Suite.t) ->
-      if wanted filters b then begin
-        let prog = b.Suite.generate () in
-        let ph = ph_sc sc_device prog in
-        let tk = Pipelines.tk_sc sc_device prog in
-        record ~bench:b.Suite.name ~config:"table2-sc/PH" prog ph;
-        record ~bench:b.Suite.name ~config:"table2-sc/TK" prog tk;
-        row b.Suite.name (checked ph "PH" :: metrics_cols ph);
-        row "" (checked tk "TK" :: metrics_cols tk)
-      end)
-    (Suite.sc ())
+      let prog = b.Suite.generate () in
+      let ph =
+        cached ~bench:b.Suite.name ~config:"table2-sc/PH"
+          ~fp:(fp_ph_sc sc_device) prog (fun () -> ph_sc sc_device prog)
+      in
+      let tk =
+        cached ~bench:b.Suite.name ~config:"table2-sc/TK"
+          ~fp:(fp_baseline ~device:sc_device "tk") prog (fun () ->
+            Pipelines.tk_sc sc_device prog)
+      in
+      ( [ ph; tk ],
+        [
+          b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
+          "", cell_checked tk "TK" :: cell_cols tk;
+        ] ))
 
 let table2_ft filters =
   header "Table 2 (FT backend): PH vs TK, each + generic stage"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  List.iter
+  pooled
+    (List.filter (wanted filters) (Suite.ft ()))
     (fun (b : Suite.t) ->
-      if wanted filters b then begin
-        let prog = b.Suite.generate () in
-        let ph = ph_ft ~schedule:Config.Depth_oriented prog in
-        let tk = Pipelines.tk_ft prog in
-        record ~bench:b.Suite.name ~config:"table2-ft/PH" prog ph;
-        record ~bench:b.Suite.name ~config:"table2-ft/TK" prog tk;
-        row b.Suite.name (checked ph "PH" :: metrics_cols ph);
-        row "" (checked tk "TK" :: metrics_cols tk)
-      end)
-    (Suite.ft ())
+      let prog = b.Suite.generate () in
+      let ph =
+        cached ~bench:b.Suite.name ~config:"table2-ft/PH"
+          ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
+          prog
+          (fun () -> ph_ft ~schedule:Config.Depth_oriented prog)
+      in
+      let tk =
+        cached ~bench:b.Suite.name ~config:"table2-ft/TK" ~fp:(fp_baseline "tk")
+          prog (fun () -> Pipelines.tk_ft prog)
+      in
+      ( [ ph; tk ],
+        [
+          b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
+          "", cell_checked tk "TK" :: cell_cols tk;
+        ] ))
 
 (* ---------- Table 3: PH vs the QAOA compiler ---------- *)
 
 let table3 filters =
   header "Table 3 (Manhattan-65): PH vs algorithm-specific QAOA compiler"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  List.iter
+  pooled
+    (List.filter
+       (fun (b : Suite.t) ->
+         wanted filters b && b.Suite.category = "QAOA" && b.Suite.name.[0] = 'R')
+       (Suite.sc ()))
     (fun (b : Suite.t) ->
-      if wanted filters b && b.Suite.category = "QAOA" && b.Suite.name.[0] = 'R'
-      then begin
-        let prog = b.Suite.generate () in
-        let ph = ph_sc sc_device prog in
-        let qc = Pipelines.qaoa_sc sc_device prog in
-        record ~bench:b.Suite.name ~config:"table3/PH" prog ph;
-        record ~bench:b.Suite.name ~config:"table3/QAOA_comp" prog qc;
-        row b.Suite.name (checked ph "PH" :: metrics_cols ph);
-        row "" (checked qc "QAOA_comp" :: metrics_cols qc)
-      end)
-    (Suite.sc ())
+      let prog = b.Suite.generate () in
+      let ph =
+        cached ~bench:b.Suite.name ~config:"table3/PH" ~fp:(fp_ph_sc sc_device)
+          prog (fun () -> ph_sc sc_device prog)
+      in
+      let qc =
+        cached ~bench:b.Suite.name ~config:"table3/QAOA_comp"
+          ~fp:(fp_baseline ~device:sc_device "qaoa") prog (fun () ->
+            Pipelines.qaoa_sc sc_device prog)
+      in
+      ( [ ph; qc ],
+        [
+          b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
+          "", cell_checked qc "QAOA_comp" :: cell_cols qc;
+        ] ))
 
 (* ---------- Table 4 left: DO vs GCO ---------- *)
 
 let table4_sched filters =
   header "Table 4 (left): DO vs GCO scheduling (deltas of DO relative to GCO)"
     [ "cnot"; "single"; "total"; "depth" ];
-  let compare_schedules (b : Suite.t) =
-    let prog = b.Suite.generate () in
-    let compiled schedule =
-      match b.Suite.backend with
-      | Suite.FT -> ph_ft ~schedule prog
-      | Suite.SC -> ph_sc ~schedule sc_device prog
-    in
-    let gco = compiled Config.Gco in
-    let dor = compiled Config.Depth_oriented in
-    record ~bench:b.Suite.name ~config:"table4-sched/GCO" prog gco;
-    record ~bench:b.Suite.name ~config:"table4-sched/DO" prog dor;
-    let g = gco.Pipelines.metrics and d = dor.Pipelines.metrics in
-    if Program.block_count prog <= 1 then row b.Suite.name [ "N/A"; "N/A"; "N/A"; "N/A" ]
-    else
-      row
-        (checked gco (checked dor b.Suite.name))
-        [
-          pct g.Report.cnot d.Report.cnot;
-          pct g.Report.single d.Report.single;
-          pct g.Report.total d.Report.total;
-          pct g.Report.depth d.Report.depth;
-        ]
-  in
-  List.iter (fun b -> if wanted filters b then compare_schedules b) (Suite.all ())
+  pooled
+    (List.filter (wanted filters) (Suite.all ()))
+    (fun (b : Suite.t) ->
+      let prog = b.Suite.generate () in
+      let compiled schedule config =
+        match b.Suite.backend with
+        | Suite.FT ->
+          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_ft ~schedule ()) prog
+            (fun () -> ph_ft ~schedule prog)
+        | Suite.SC ->
+          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_sc ~schedule sc_device)
+            prog
+            (fun () -> ph_sc ~schedule sc_device prog)
+      in
+      let gco = compiled Config.Gco "table4-sched/GCO" in
+      let dor = compiled Config.Depth_oriented "table4-sched/DO" in
+      let g = gco.c_record.Report.metrics and d = dor.c_record.Report.metrics in
+      ( [ gco; dor ],
+        if Program.block_count prog <= 1 then
+          [ b.Suite.name, [ "N/A"; "N/A"; "N/A"; "N/A" ] ]
+        else
+          [
+            ( cell_checked gco (cell_checked dor b.Suite.name),
+              [
+                pct g.Report.cnot d.Report.cnot;
+                pct g.Report.single d.Report.single;
+                pct g.Report.total d.Report.total;
+                pct g.Report.depth d.Report.depth;
+              ] );
+          ] ))
 
 (* ---------- Table 4 right: block-wise compilation improvement ---------- *)
 
@@ -216,29 +320,43 @@ let scheduled_naive (b : Suite.t) prog =
 let table4_bc filters =
   header "Table 4 (right): block-wise compilation vs naive synthesis (deltas)"
     [ "cnot"; "single"; "total"; "depth" ];
-  List.iter
+  pooled
+    (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
-      if wanted filters b then begin
-        let prog = b.Suite.generate () in
-        let ph =
-          match b.Suite.backend with
-          | Suite.FT -> ph_ft ~schedule:Config.Gco prog
-          | Suite.SC -> ph_sc ~schedule:Config.Gco sc_device prog
-        in
-        let base = scheduled_naive b prog in
-        record ~bench:b.Suite.name ~config:"table4-bc/PH" prog ph;
-        record ~bench:b.Suite.name ~config:"table4-bc/naive" prog base;
-        let p = ph.Pipelines.metrics and n = base.Pipelines.metrics in
-        row
-          (checked ph (checked base b.Suite.name))
-          [
-            pct n.Report.cnot p.Report.cnot;
-            pct n.Report.single p.Report.single;
-            pct n.Report.total p.Report.total;
-            pct n.Report.depth p.Report.depth;
-          ]
-      end)
-    (Suite.all ())
+      let prog = b.Suite.generate () in
+      let ph =
+        match b.Suite.backend with
+        | Suite.FT ->
+          cached ~bench:b.Suite.name ~config:"table4-bc/PH"
+            ~fp:(fp_ph_ft ~schedule:Config.Gco ())
+            prog
+            (fun () -> ph_ft ~schedule:Config.Gco prog)
+        | Suite.SC ->
+          cached ~bench:b.Suite.name ~config:"table4-bc/PH"
+            ~fp:(fp_ph_sc ~schedule:Config.Gco sc_device)
+            prog
+            (fun () -> ph_sc ~schedule:Config.Gco sc_device prog)
+      in
+      let base =
+        cached ~bench:b.Suite.name ~config:"table4-bc/naive"
+          ~fp:
+            (match b.Suite.backend with
+            | Suite.FT -> fp_baseline "gco+naive"
+            | Suite.SC -> fp_baseline ~device:sc_device "gco+naive")
+          prog
+          (fun () -> scheduled_naive b prog)
+      in
+      let p = ph.c_record.Report.metrics and n = base.c_record.Report.metrics in
+      ( [ ph; base ],
+        [
+          ( cell_checked ph (cell_checked base b.Suite.name),
+            [
+              pct n.Report.cnot p.Report.cnot;
+              pct n.Report.single p.Report.single;
+              pct n.Report.total p.Report.total;
+              pct n.Report.depth p.Report.depth;
+            ] );
+        ] ))
 
 (* ---------- Figure 11: end-to-end QAOA success probability ---------- *)
 
@@ -488,20 +606,19 @@ let compare_reports ?fail_on a_path b_path =
   in
   let a = load a_path and b = load b_path in
   Printf.printf "=== compare: %s (A) vs %s (B) ===\n" a_path b_path;
-  Printf.printf "%-14s %-22s %10s %10s %10s %10s %10s\n" "benchmark" "config"
-    "cnot" "total" "depth" "time" "lint";
+  Printf.printf "%-14s %-22s %10s %10s %10s %10s %8s %8s %8s %8s\n" "benchmark"
+    "config" "cnot" "total" "depth" "time" "sched" "synth" "gc" "lint";
   let ratios_cnot = ref [] and ratios_total = ref [] in
   let ratios_depth = ref [] and ratios_time = ref [] in
-  let ratios_lint = ref [] in
+  let ratios_sched = ref [] and ratios_synth = ref [] in
+  let ratios_gc = ref [] and ratios_lint = ref [] in
   let matched = ref 0 in
+  let same (ra : Report.record) (rb : Report.record) =
+    rb.Report.bench = ra.Report.bench && rb.Report.config = ra.Report.config
+  in
   List.iter
     (fun (ra : Report.record) ->
-      match
-        List.find_opt
-          (fun (rb : Report.record) ->
-            rb.Report.bench = ra.Report.bench && rb.Report.config = ra.Report.config)
-          b
-      with
+      match List.find_opt (same ra) b with
       | None -> ()
       | Some rb ->
         incr matched;
@@ -514,21 +631,58 @@ let compare_reports ?fail_on a_path b_path =
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.total) ratios_total;
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.depth) ratios_depth;
         ratio (fun (m : Report.metrics) -> m.Report.seconds) ratios_time;
-        let lint_a = ra.Report.trace.Report.lint_s
-        and lint_b = rb.Report.trace.Report.lint_s in
-        if lint_a > 0. && lint_b > 0. then
-          ratios_lint := (lint_b /. lint_a) :: !ratios_lint;
-        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx %10s\n" ra.Report.bench
-          ra.Report.config
+        (* wall-time / allocation ratios of individual stages: defined
+           only when both reports have a nonzero measurement (the stage
+           ran, and the record postdates the telemetry) *)
+        let stage_ratio va vb store =
+          if va > 0. && vb > 0. then begin
+            store := (vb /. va) :: !store;
+            Printf.sprintf "%.2fx" (vb /. va)
+          end
+          else "-"
+        in
+        let sched =
+          stage_ratio ra.Report.trace.Report.schedule_s
+            rb.Report.trace.Report.schedule_s ratios_sched
+        in
+        let synth =
+          stage_ratio ra.Report.trace.Report.synthesis_s
+            rb.Report.trace.Report.synthesis_s ratios_synth
+        in
+        let gc =
+          stage_ratio
+            (Report.trace_gc_words ra.Report.trace)
+            (Report.trace_gc_words rb.Report.trace)
+            ratios_gc
+        in
+        let lint =
+          stage_ratio ra.Report.trace.Report.lint_s rb.Report.trace.Report.lint_s
+            ratios_lint
+        in
+        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx %8s %8s %8s %8s\n"
+          ra.Report.bench ra.Report.config
           (pct ma.Report.cnot mb.Report.cnot)
           (pct ma.Report.total mb.Report.total)
           (pct ma.Report.depth mb.Report.depth)
           (if ma.Report.seconds > 0. then mb.Report.seconds /. ma.Report.seconds
            else nan)
-          (if lint_a > 0. && lint_b > 0. then
-             Printf.sprintf "%.2fx" (lint_b /. lint_a)
-           else "-"))
+          sched synth gc lint)
     a;
+  (* Rows present in only one report used to vanish silently, hiding
+     added/removed benchmarks (and typoed config names) from the diff. *)
+  let only tag xs ys =
+    let missing =
+      List.filter (fun r -> not (List.exists (same r) ys)) xs
+    in
+    if missing <> [] then
+      Printf.printf "rows only in %s (%d): %s\n" tag (List.length missing)
+        (String.concat ", "
+           (List.map
+              (fun (r : Report.record) -> r.Report.bench ^ ":" ^ r.Report.config)
+              missing))
+  in
+  only "A" a b;
+  only "B" b a;
   if !matched = 0 then begin
     Printf.printf "no (benchmark, config) pairs in common\n";
     1
@@ -544,6 +698,9 @@ let compare_reports ?fail_on a_path b_path =
     gm "total" !ratios_total;
     gm "depth" !ratios_depth;
     gm "time" !ratios_time;
+    gm "sched" !ratios_sched;
+    gm "synth" !ratios_synth;
+    gm "gc" !ratios_gc;
     gm "lint" !ratios_lint;
     match fail_on with
     | None -> 0
@@ -602,7 +759,7 @@ let experiments =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint]\n\
+    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint] [--jobs N] [--cache DIR]\n\
     \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
     \       main.exe fuzz [CASES] [SEED]";
   exit 1
@@ -622,6 +779,17 @@ let () =
   let json_path, args = extract_opt "--json" [] (List.tl (Array.to_list Sys.argv)) in
   let lint_flag, args = extract_flag "--lint" [] args in
   lint_enabled := lint_flag;
+  let jobs, args = extract_opt "--jobs" [] args in
+  (match jobs with
+  | Some s ->
+    (match int_of_string_opt s with
+    | Some n when n >= 1 -> bench_jobs := n
+    | _ -> usage ())
+  | None -> ());
+  let cache_dir, args = extract_opt "--cache" [] args in
+  (match cache_dir with
+  | Some dir -> bench_cache := Some (Ph_pool.Cache.create ~dir ())
+  | None -> ());
   let fail_on, args = extract_opt "--fail-on-regression" [] args in
   let fail_on =
     Option.map
@@ -639,4 +807,11 @@ let () =
     (List.assoc name experiments) filters
   | [] -> List.iter (fun (_, f) -> f []) experiments
   | _ -> usage ());
-  match json_path with Some path -> write_json path | None -> ()
+  (match json_path with Some path -> write_json path | None -> ());
+  match !bench_cache with
+  | Some cache ->
+    let c = Ph_pool.Cache.counters cache in
+    Printf.printf "cache: hits=%d (mem %d, disk %d) misses=%d stores=%d evictions=%d\n"
+      (Ph_pool.Cache.hits c) c.Ph_pool.Cache.hits_mem c.Ph_pool.Cache.hits_disk
+      c.Ph_pool.Cache.misses c.Ph_pool.Cache.stores c.Ph_pool.Cache.evictions
+  | None -> ()

@@ -230,6 +230,139 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a Pauli IR source file (the default command).")
     compile_term
 
+(* ---------- phc batch: pooled batch compilation with caching ---------- *)
+
+let pp_metrics_no_time (m : Report.metrics) =
+  Printf.sprintf "cnot=%d single=%d total=%d depth=%d" m.Report.cnot
+    m.Report.single m.Report.total m.Report.depth
+
+let run_batch files backend device schedule window params lint jobs cache_dir
+    no_verify timings json_out =
+  match
+    if files = [] then Error (`Msg "batch: no input files")
+    else if jobs < 1 then Error (`Msg "batch: --jobs must be positive")
+    else
+      try Ok (config_for ~backend ~device ~schedule ~lint ~window)
+      with Failure m -> Error (`Msg m)
+  with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok config ->
+    let cache =
+      Option.map (fun dir -> Ph_pool.Cache.create ~dir ()) cache_dir
+    in
+    let js =
+      List.mapi
+        (fun id file ->
+          Ph_pool.Batch.job ~id ~name:(Filename.basename file) ~params
+            (read_file file))
+        files
+    in
+    let batch =
+      Ph_pool.Batch.run ?cache ~jobs ~verify:(not no_verify) ~config
+        ~config_name:(config_name backend device schedule)
+        js
+    in
+    (* stdout is deterministic: per-job rows in submission order, then
+       the cache counters — no wall clocks, no worker count. *)
+    List.iter
+      (fun (o : Ph_pool.Batch.outcome) ->
+        match o.Ph_pool.Batch.result with
+        | Ph_pool.Batch.Ok record ->
+          Printf.printf "ok      %-28s %s%s\n" o.Ph_pool.Batch.job.Ph_pool.Batch.name
+            (pp_metrics_no_time record.Report.metrics)
+            (match o.Ph_pool.Batch.origin with
+            | Ph_pool.Batch.Compiled -> ""
+            | Ph_pool.Batch.From_cache -> "  [cache]"
+            | Ph_pool.Batch.Coalesced -> "  [coalesced]")
+        | Ph_pool.Batch.Failed f ->
+          Printf.printf "failed  %-28s %s: %s\n"
+            o.Ph_pool.Batch.job.Ph_pool.Batch.name f.stage f.message)
+      batch.Ph_pool.Batch.outcomes;
+    (match batch.Ph_pool.Batch.cache_counters with
+    | Some c ->
+      Printf.printf "cache: hits=%d (mem %d, disk %d) misses=%d stores=%d evictions=%d\n"
+        (Ph_pool.Cache.hits c) c.Ph_pool.Cache.hits_mem c.Ph_pool.Cache.hits_disk
+        c.Ph_pool.Cache.misses c.Ph_pool.Cache.stores c.Ph_pool.Cache.evictions
+    | None -> ());
+    let ok = Ph_pool.Batch.ok_count batch in
+    let n_failed = List.length (Ph_pool.Batch.failed batch) in
+    Printf.printf "result: %d ok, %d failed\n" ok n_failed;
+    (* wall-clock telemetry goes to stderr, where nondeterminism is
+       allowed *)
+    let stats = batch.Ph_pool.Batch.stats in
+    Printf.eprintf "batch: %d job(s), %d worker(s), %.2fs wall, cache hit rate %.0f%%\n"
+      stats.Report.batch_jobs stats.Report.batch_workers stats.Report.batch_wall_s
+      (100. *. Report.batch_hit_rate stats);
+    (match json_out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Json.to_string ~indent:true
+               (Ph_pool.Batch.report_json ~timings batch));
+          output_char oc '\n')
+    | None -> ());
+    if n_failed = 0 then 0 else 1
+
+let batch_files_arg =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILES" ~doc:"Pauli IR source files (one job each).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains compiling jobs in parallel.  Results are merged \
+           in submission order, so output is byte-identical to $(b,--jobs) \
+           $(b,1).")
+
+let cache_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Enable the on-disk compile-cache tier in $(docv) (created on \
+           demand; one JSON file per content-addressed entry, written via \
+           atomic rename).  Only verified compiles are stored.")
+
+let batch_timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:
+          "Include wall-clock data (per-job run and queue-wait times, batch \
+           wall time, worker count, per-stage timings inside records) in the \
+           JSON report.  Off by default so the report is deterministic: a \
+           pure function of (sources, config, prior cache state).")
+
+let batch_json_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"OUT"
+        ~doc:"Write the batch report (records, cache counters, batch stats) \
+              as JSON to $(docv).")
+
+let batch_cmd =
+  let doc =
+    "compile many Pauli IR files as one fault-isolated batch: a fixed-size \
+     domain worker pool pulls jobs from a shared queue, a content-addressed \
+     cache (keyed by canonical program text, config fingerprint and compiler \
+     version) answers repeated compiles, and per-job failures (parse, \
+     compile, lint, verification) are reported without killing the batch; \
+     exits 1 when any job failed"
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run_batch $ batch_files_arg $ backend_arg $ device_arg
+      $ schedule_arg $ window_arg $ params_arg $ lint_arg $ jobs_arg
+      $ cache_arg $ no_verify_arg $ batch_timings_arg $ batch_json_arg)
+
 (* ---------- phc lint: verify-each over the whole pipeline ---------- *)
 
 let run_lint file backend device schedule params json =
@@ -292,8 +425,8 @@ let lint_cmd =
 
 (* ---------- phc fuzz: differential fuzzing of all pipelines ---------- *)
 
-let run_fuzz cases seed backend device out_dir time_budget dense_limit max_qubits
-    no_metamorphic json_out =
+let run_fuzz cases seed jobs backend device out_dir time_budget dense_limit
+    max_qubits no_metamorphic json_out =
   let open Ph_fuzz in
   match
     let coupling =
@@ -322,6 +455,7 @@ let run_fuzz cases seed backend device out_dir time_budget dense_limit max_qubit
         (Runner.default_config ?coupling ()) with
         Runner.cases;
         seed;
+        jobs = max 1 jobs;
         time_budget_s = time_budget;
         dense_limit;
         max_qubits;
@@ -347,6 +481,13 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Corpus seed; case $(i,i) of a seed is deterministic, so runs are \
                reproducible bit-for-bit.")
+
+let fuzz_jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains evaluating cases in parallel.  Results merge on \
+               the coordinator in case order (shrinking stays single-threaded), \
+               so the summary and reproducer artifacts are byte-identical to a \
+               sequential run.")
 
 let fuzz_backend_arg =
   Arg.(value & opt string "all" & info [ "backend"; "b" ] ~docv:"BACKEND"
@@ -393,15 +534,15 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const run_fuzz $ cases_arg $ seed_arg $ fuzz_backend_arg $ fuzz_device_arg
-      $ out_arg $ time_budget_arg $ dense_limit_arg $ max_qubits_arg
-      $ no_metamorphic_arg $ fuzz_json_arg)
+      const run_fuzz $ cases_arg $ seed_arg $ fuzz_jobs_arg $ fuzz_backend_arg
+      $ fuzz_device_arg $ out_arg $ time_budget_arg $ dense_limit_arg
+      $ max_qubits_arg $ no_metamorphic_arg $ fuzz_json_arg)
 
 let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in
   Cmd.group ~default:compile_term
     (Cmd.info "phc" ~version:"1.0" ~doc)
-    [ compile_cmd; lint_cmd; fuzz_cmd ]
+    [ compile_cmd; batch_cmd; lint_cmd; fuzz_cmd ]
 
 (* `phc input.pauli` (no sub-command) must keep working: route a leading
    positional that is not a sub-command name through `compile`. *)
@@ -412,7 +553,7 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "fuzz" | "compile" | "lint" -> false
+      | "fuzz" | "compile" | "lint" | "batch" -> false
       | s -> String.length s > 0 && s.[0] <> '-'
     then Array.append [| argv.(0); "compile" |] (Array.sub argv 1 (Array.length argv - 1))
     else argv

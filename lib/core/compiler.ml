@@ -38,19 +38,26 @@ type lint_acc = {
   enabled : bool;
   mutable diags : Ph_lint.Diag.t list;
   mutable seconds : float;
+  mutable gc : Report.gc_delta;
 }
 
 let lint_run acc check =
   if acc.enabled then begin
-    let diags, dt = Report.timed check in
+    let diags, dt, gc = Report.timed_gc check in
     acc.diags <- acc.diags @ diags;
-    acc.seconds <- acc.seconds +. dt
+    acc.seconds <- acc.seconds +. dt;
+    acc.gc <- Report.gc_add acc.gc gc
   end
 
 let compile config prog =
   let t0 = Unix.gettimeofday () in
   let acc =
-    { enabled = config.Config.lint <> Ph_lint.Diag.Off; diags = []; seconds = 0. }
+    {
+      enabled = config.Config.lint <> Ph_lint.Diag.Off;
+      diags = [];
+      seconds = 0.;
+      gc = Report.empty_gc;
+    }
   in
   (* stage -1: the configuration itself *)
   lint_run acc (fun () ->
@@ -65,31 +72,32 @@ let compile config prog =
   (* stage 0: the input Pauli IR *)
   lint_run acc (fun () -> Ph_lint.Check_ir.program prog);
   (* stage 1: block scheduling *)
-  let (layers, (sched_layers, sched_padded)), schedule_s =
-    Report.timed (fun () -> schedule_layers config prog)
+  let (layers, (sched_layers, sched_padded)), schedule_s, schedule_gc =
+    Report.timed_gc (fun () -> schedule_layers config prog)
   in
   lint_run acc (fun () -> Ph_lint.Check_schedule.check ~program:prog layers);
   let peephole c =
     if config.Config.peephole then
-      Report.timed (fun () -> Peephole.optimize_stats c)
-    else (c, { Peephole.removed = 0; rounds = 0 }), 0.
+      Report.timed_gc (fun () -> Peephole.optimize_stats c)
+    else (c, { Peephole.removed = 0; rounds = 0 }), 0., Report.empty_gc
   in
   (* stage 2+3: backend synthesis (plus hardware replay on SC), then the
      generic cleanup *)
-  let circuit, rotations, initial_layout, final_layout, timings, counters =
+  let circuit, rotations, initial_layout, final_layout, timings, gcs, counters =
     match config.Config.backend with
     | Config.Ft ->
-      let r, synthesis_s =
-        Report.timed (fun () ->
+      let r, synthesis_s, synthesis_gc =
+        Report.timed_gc (fun () ->
             Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers)
       in
       lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Emit.circuit);
-      let (c, pstats), peephole_s = peephole r.Emit.circuit in
+      let (c, pstats), peephole_s, peephole_gc = peephole r.Emit.circuit in
       ( c,
         r.Emit.rotations,
         None,
         None,
         (schedule_s, synthesis_s, 0., peephole_s),
+        (synthesis_gc, Report.empty_gc, peephole_gc),
         {
           Report.sched_layers;
           sched_padded;
@@ -99,8 +107,8 @@ let compile config prog =
           peephole_rounds = pstats.Peephole.rounds;
         } )
     | Config.Sc { coupling; noise } ->
-      let r, synthesis_s =
-        Report.timed (fun () ->
+      let r, synthesis_s, synthesis_gc =
+        Report.timed_gc (fun () ->
             Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
               layers)
       in
@@ -109,15 +117,16 @@ let compile config prog =
           Ph_lint.Check_sc.check ~coupling ~initial:r.Sc_backend.initial_layout
             ~final:r.Sc_backend.final_layout ~claimed_swaps:r.Sc_backend.swaps
             r.Sc_backend.circuit);
-      let c, swap_decompose_s =
-        Report.timed (fun () -> Circuit.decompose_swaps r.Sc_backend.circuit)
+      let c, swap_decompose_s, swap_gc =
+        Report.timed_gc (fun () -> Circuit.decompose_swaps r.Sc_backend.circuit)
       in
-      let (c, pstats), peephole_s = peephole c in
+      let (c, pstats), peephole_s, peephole_gc = peephole c in
       ( c,
         r.Sc_backend.rotations,
         Some r.Sc_backend.initial_layout,
         Some r.Sc_backend.final_layout,
         (schedule_s, synthesis_s, swap_decompose_s, peephole_s),
+        (synthesis_gc, swap_gc, peephole_gc),
         {
           Report.sched_layers;
           sched_padded;
@@ -131,8 +140,8 @@ let compile config prog =
          generic peephole stage is not run (Config.ion_trap defaults
          [peephole = false], and CFG001 warns when a config claims
          otherwise) *)
-      let r, synthesis_s =
-        Report.timed (fun () ->
+      let r, synthesis_s, synthesis_gc =
+        Report.timed_gc (fun () ->
             Ion_trap.synthesize ~n_qubits:(Program.n_qubits prog) layers)
       in
       lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Emit.circuit);
@@ -141,6 +150,7 @@ let compile config prog =
         None,
         None,
         (schedule_s, synthesis_s, 0., 0.),
+        (synthesis_gc, Report.empty_gc, Report.empty_gc),
         {
           Report.empty_counters with
           Report.sched_layers;
@@ -161,6 +171,7 @@ let compile config prog =
       in
       Ph_lint.Check_frame.check ?layouts ~rotations circuit);
   let schedule_s, synthesis_s, swap_decompose_s, peephole_s = timings in
+  let synthesis_gc, swap_gc, peephole_gc = gcs in
   let seconds = Unix.gettimeofday () -. t0 in
   {
     circuit;
@@ -177,6 +188,14 @@ let compile config prog =
         lint_s = acc.seconds;
         counters;
         lint = acc.diags;
+        gc =
+          [
+            "schedule", schedule_gc;
+            "synthesis", synthesis_gc;
+            "swap_decompose", swap_gc;
+            "peephole", peephole_gc;
+            "lint", acc.gc;
+          ];
       };
   }
 

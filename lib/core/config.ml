@@ -31,3 +31,41 @@ let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
 let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
     () =
   { schedule; backend = Ion_trap; peephole = false; lint; window }
+
+(* ---------- stable fingerprints (compile-cache keys) ---------- *)
+
+(* Bump whenever any pass can change its output for an unchanged
+   (program, config) pair — the tag is part of every cache key, so a
+   bump invalidates all previously cached compiles. *)
+let version_tag = "paulihedral/5"
+
+let schedule_name = function
+  | Program_order -> "none"
+  | Gco -> "gco"
+  | Depth_oriented -> "do"
+  | Max_overlap -> "maxov"
+
+let backend_fingerprint = function
+  | Ft -> "ft"
+  | Ion_trap -> "it"
+  | Sc { coupling; noise } ->
+    let edge (a, b) = if a <= b then a, b else b, a in
+    let edges = List.sort compare (List.map edge (Coupling.edges coupling)) in
+    Printf.sprintf "sc{n=%d;edges=%s;noise=%s}"
+      (Coupling.n_qubits coupling)
+      (String.concat ","
+         (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges))
+      (match noise with None -> "none" | Some _ -> "opaque")
+
+let fingerprint t =
+  Printf.sprintf "v=%s;schedule=%s;backend=%s;peephole=%b;lint=%s;window=%d"
+    version_tag (schedule_name t.schedule)
+    (backend_fingerprint t.backend)
+    t.peephole
+    (Ph_lint.Diag.level_to_string t.lint)
+    t.window
+
+(* A noise model has no stable textual identity, so a noisy SC config
+   must never be served from (or stored into) the compile cache. *)
+let cacheable t =
+  match t.backend with Sc { noise = Some _; _ } -> false | _ -> true

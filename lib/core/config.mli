@@ -62,3 +62,23 @@ val sc :
     stage, and the config must not pretend it does. *)
 val ion_trap :
   ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> ?window:int -> unit -> t
+
+(** Compiler version tag, part of every compile-cache key
+    ({!fingerprint} embeds it).  Bumped whenever any pass can change its
+    output for an unchanged (program, config) pair, which invalidates
+    all previously cached compiles. *)
+val version_tag : string
+
+(** [schedule_name s] — the CLI spelling ([gco]/[do]/[maxov]/[none]). *)
+val schedule_name : schedule -> string
+
+(** Stable textual identity of the configuration: version tag, schedule,
+    backend (SC includes qubit count and the sorted coupling edge list),
+    peephole, lint level and window.  Two configs with equal fingerprints
+    compile any program to bit-identical results, so the fingerprint is
+    the config component of [Ph_pool.Cache] keys. *)
+val fingerprint : t -> string
+
+(** [false] when the config embeds state with no stable identity (an SC
+    noise model): such compiles must bypass the cache. *)
+val cacheable : t -> bool

@@ -43,6 +43,7 @@ let baseline_trace ?(synthesis_s = 0.) ?(swap_decompose_s = 0.) ?(peephole_s = 0
     peephole_s;
     lint_s = 0.;
     lint = [];
+    gc = [];
     counters =
       {
         Report.empty_counters with

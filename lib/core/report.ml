@@ -24,6 +24,44 @@ let timed f =
   let r = f () in
   r, Unix.gettimeofday () -. t0
 
+(* ---------- GC / allocation telemetry ---------- *)
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
+let empty_gc = { minor_words = 0.; major_words = 0.; major_collections = 0 }
+
+let gc_add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
+(* Allocated words: the pressure number `bench compare` ratios. *)
+let gc_words g = g.minor_words +. g.major_words
+
+(* [Gc.quick_stat] counters only flush at GC sync points on OCaml 5, so
+   a short stage can read a zero delta; [Gc.minor_words ()] samples the
+   live allocation pointer of the calling domain and is exact. *)
+let timed_gc f =
+  let g0 = Gc.quick_stat () in
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    dt,
+    {
+      minor_words = Gc.minor_words () -. mw0;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+    } )
+
 let delta a b =
   if a = 0 then nan else 100. *. float_of_int (b - a) /. float_of_int a
 
@@ -60,6 +98,7 @@ type trace = {
   lint_s : float;
   counters : pass_counters;
   lint : Ph_lint.Diag.t list;
+  gc : (string * gc_delta) list;
 }
 
 let empty_counters =
@@ -81,7 +120,11 @@ let empty_trace =
     lint_s = 0.;
     counters = empty_counters;
     lint = [];
+    gc = [];
   }
+
+let trace_gc_words t =
+  List.fold_left (fun acc (_, g) -> acc +. gc_words g) 0. t.gc
 
 type record = {
   bench : string;
@@ -103,6 +146,21 @@ let counters_to_json (c : pass_counters) =
       "peephole_rounds", Json.Int c.peephole_rounds;
     ]
 
+let gc_delta_to_json (g : gc_delta) =
+  Json.Obj
+    [
+      "minor_words", Json.Float g.minor_words;
+      "major_words", Json.Float g.major_words;
+      "major_collections", Json.Int g.major_collections;
+    ]
+
+let gc_delta_of_json j =
+  {
+    minor_words = Json.to_float (Json.get "minor_words" j);
+    major_words = Json.to_float (Json.get "major_words" j);
+    major_collections = Json.to_int (Json.get "major_collections" j);
+  }
+
 let trace_to_json (t : trace) =
   Json.Obj
     [
@@ -115,6 +173,7 @@ let trace_to_json (t : trace) =
       "lint_errors", Json.Int (List.length (Ph_lint.Diag.errors t.lint));
       "lint_warnings", Json.Int (List.length (Ph_lint.Diag.warnings t.lint));
       "lint", Json.List (List.map Ph_lint.Diag.to_json t.lint);
+      "gc", Json.Obj (List.map (fun (s, g) -> s, gc_delta_to_json g) t.gc);
     ]
 
 let record_to_json (r : record) =
@@ -161,6 +220,13 @@ let trace_of_json j =
       (match Json.member "lint" j with
       | Some v -> List.map Ph_lint.Diag.of_json (Json.to_list v)
       | None -> []);
+    (* absent from pre-pool reports (PR ≤ 4) *)
+    gc =
+      (match Json.member "gc" j with
+      | Some (Json.Obj fields) ->
+        List.map (fun (s, g) -> s, gc_delta_of_json g) fields
+      | Some _ -> raise (Json.Parse_error "trace gc: expected object")
+      | None -> []);
   }
 
 let record_of_json j =
@@ -180,3 +246,60 @@ let record_of_json j =
       };
     trace = trace_of_json (Json.get "trace" j);
   }
+
+(* ---------- deterministic projection ---------- *)
+
+(* Everything wall-clock- or domain-dependent zeroed: what remains is a
+   pure function of (program, config), so `phc batch --jobs N` reports
+   can be byte-diffed against `--jobs 1` and against cached reruns. *)
+let normalize_record (r : record) =
+  {
+    r with
+    metrics = { r.metrics with seconds = 0. };
+    trace =
+      {
+        r.trace with
+        schedule_s = 0.;
+        synthesis_s = 0.;
+        swap_decompose_s = 0.;
+        peephole_s = 0.;
+        lint_s = 0.;
+        gc = [];
+      };
+  }
+
+(* ---------- batch aggregation ---------- *)
+
+(* One `phc batch` / pooled bench run: submission-order per-job wall and
+   queue-wait times plus the cache outcome counts.  Produced by
+   [Ph_pool.Batch]; consumed by its JSON report and stderr summary. *)
+type batch = {
+  batch_jobs : int;  (** jobs submitted *)
+  batch_workers : int;  (** worker domains that served the queue *)
+  batch_wall_s : float;  (** end-to-end batch wall time *)
+  job_wall_s : float list;  (** per-job run time, submission order *)
+  job_queue_s : float list;  (** per-job queue wait, submission order *)
+  cache_hits : int;  (** memory + disk + coalesced *)
+  cache_misses : int;
+}
+
+let batch_hit_rate b =
+  let looked = b.cache_hits + b.cache_misses in
+  if looked = 0 then 0. else float_of_int b.cache_hits /. float_of_int looked
+
+let batch_to_json ?(timings = true) (b : batch) =
+  let z v = if timings then v else 0. in
+  Json.Obj
+    [
+      "jobs", Json.Int b.batch_jobs;
+      (* worker count is part of the run environment, not of the work:
+         zeroed in deterministic reports so `--jobs N` == `--jobs 1` *)
+      "workers", Json.Int (if timings then b.batch_workers else 0);
+      "wall_s", Json.Float (z b.batch_wall_s);
+      "job_wall_s", Json.List (List.map (fun s -> Json.Float (z s)) b.job_wall_s);
+      ( "job_queue_s",
+        Json.List (List.map (fun s -> Json.Float (z s)) b.job_queue_s) );
+      "cache_hits", Json.Int b.cache_hits;
+      "cache_misses", Json.Int b.cache_misses;
+      "cache_hit_rate", Json.Float (batch_hit_rate b);
+    ]

@@ -18,6 +18,32 @@ val of_circuit : ?seconds:float -> Circuit.t -> metrics
 (** [timed f] runs [f ()] and returns its result with the elapsed time. *)
 val timed : (unit -> 'a) -> 'a * float
 
+(** {1 GC / allocation telemetry} *)
+
+(** [Gc.quick_stat] deltas around one pass: words allocated in the minor
+    and major heaps and major collections triggered.  Under the domain
+    pool the numbers are attributed to the domain that ran the pass but
+    [Gc.quick_stat] aggregates some counters process-wide, so pooled
+    runs are approximate; single-domain runs are exact. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
+val empty_gc : gc_delta
+val gc_add : gc_delta -> gc_delta -> gc_delta
+
+(** Total words allocated ([minor_words + major_words]) — the allocation
+    pressure number [bench compare] ratios between reports. *)
+val gc_words : gc_delta -> float
+
+(** [timed_gc f] — {!timed} plus the {!gc_delta} of the call. *)
+val timed_gc : (unit -> 'a) -> 'a * float * gc_delta
+
+val gc_delta_to_json : gc_delta -> Json.t
+val gc_delta_of_json : Json.t -> gc_delta
+
 (** [delta a b] — percentage change of [b] relative to [a]
     ([(b − a) / a · 100]); [nan] when [a = 0]. *)
 val delta : int -> int -> float
@@ -60,10 +86,18 @@ type trace = {
   counters : pass_counters;
   lint : Ph_lint.Diag.t list;  (** stage order: config, IR, schedule,
                                    synthesis, hardware, final circuit *)
+  gc : (string * gc_delta) list;
+      (** per-stage allocation deltas in stage order
+          ([schedule]/[synthesis]/[swap_decompose]/[peephole]/[lint]);
+          [[]] in records predating the telemetry (PR ≤ 4) and in
+          baseline-stage traces *)
 }
 
 val empty_counters : pass_counters
 val empty_trace : trace
+
+(** Total words allocated across all stages of the trace. *)
+val trace_gc_words : trace -> float
 
 (** One row of a machine-readable bench report: benchmark × config
     identity, program size, end metrics and the per-stage trace. *)
@@ -86,3 +120,36 @@ val record_to_json : record -> Json.t
 val trace_of_json : Json.t -> trace
 
 val record_of_json : Json.t -> record
+
+(** Zero every wall-clock and GC field of the record (metrics seconds,
+    per-stage timings, allocation deltas), leaving only data that is a
+    pure function of (program, config).  The batch service reports
+    normalized records by default so [--jobs N] output is byte-identical
+    to [--jobs 1] and to a warm-cache rerun. *)
+val normalize_record : record -> record
+
+(** {1 Batch aggregation}
+
+    Telemetry of one pooled batch-compilation run ([Ph_pool.Batch]):
+    per-job wall times and queue waits in submission order, plus the
+    cache outcome counts. *)
+
+type batch = {
+  batch_jobs : int;  (** jobs submitted *)
+  batch_workers : int;  (** worker domains that served the queue *)
+  batch_wall_s : float;  (** end-to-end batch wall time *)
+  job_wall_s : float list;  (** per-job run time, submission order *)
+  job_queue_s : float list;  (** per-job queue wait, submission order *)
+  cache_hits : int;  (** memory + disk + in-batch coalesced *)
+  cache_misses : int;
+}
+
+(** Fraction of jobs answered by the cache ([0.] when nothing was
+    looked up, i.e. the batch ran uncached). *)
+val batch_hit_rate : batch -> float
+
+(** [timings = false] zeroes the wall-clock fields and the worker count
+    (both are properties of the run environment, not of the work), so
+    the object is identical across [--jobs] values; the job and cache
+    counts are deterministic either way. *)
+val batch_to_json : ?timings:bool -> batch -> Json.t

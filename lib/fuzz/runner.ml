@@ -13,6 +13,7 @@ open Paulihedral
 type config = {
   cases : int;
   seed : int;
+  jobs : int; (* worker domains evaluating cases (1 = sequential) *)
   time_budget_s : float; (* 0. = no time budget *)
   dense_limit : int; (* dense-oracle qubit ceiling *)
   max_qubits : int; (* generator ceiling *)
@@ -33,6 +34,7 @@ let default_config ?coupling () =
   {
     cases = 200;
     seed = 42;
+    jobs = 1;
     time_budget_s = 0.;
     dense_limit = 6;
     max_qubits;
@@ -81,6 +83,37 @@ let reproduces cfg rng (case : Gen.case) (f : Properties.failure) =
       fun p -> same (Properties.check_pipeline ~dense_limit:cfg.dense_limit pl p)
     | None -> fun _ -> false)
 
+(* One case evaluated end to end: every check in display order with its
+   failures and wall time.  A pure function of (cfg, index) — safe to
+   run on a pool worker domain.  Shrinking, artifact writing and stat
+   accumulation stay on the coordinator, so the summary is merged in
+   case order and is byte-identical whatever [cfg.jobs] was. *)
+let evaluate cfg i =
+  let case = Gen.case ~max_qubits:cfg.max_qubits ~seed:cfg.seed i in
+  let checks = ref [] in
+  let collect name thunk =
+    let fails, dt = Report.timed thunk in
+    checks := (name, fails, dt) :: !checks
+  in
+  collect "parser" (fun () ->
+      Properties.roundtrip ~params:case.Gen.params case.Gen.program);
+  let pauli_rng = Rng.create2 cfg.seed (0xb175 + i) in
+  collect "pauli_ops" (fun () -> Properties.pauli_ops pauli_rng case.Gen.program);
+  List.iter
+    (fun pl ->
+      collect pl.Properties.name (fun () ->
+          Properties.check_pipeline ~dense_limit:cfg.dense_limit pl case.Gen.program))
+    cfg.pipelines;
+  if cfg.lint then
+    collect "lint" (fun () ->
+        Properties.lint ?coupling:cfg.coupling case.Gen.program);
+  if cfg.metamorphic then begin
+    let meta_rng = Rng.create2 cfg.seed (0x4d455441 + i) in
+    collect "metamorphic" (fun () ->
+        Properties.metamorphic ~dense_limit:cfg.dense_limit meta_rng case.Gen.program)
+  end;
+  case, List.rev !checks
+
 let run ?(log = fun _ -> ()) cfg =
   let t0 = Unix.gettimeofday () in
   let order = ref [] in
@@ -100,70 +133,63 @@ let run ?(log = fun _ -> ()) cfg =
   List.iter (fun pl -> ignore (stat pl.Properties.name)) cfg.pipelines;
   if cfg.lint then ignore (stat "lint");
   if cfg.metamorphic then ignore (stat "metamorphic");
-  let outcomes = ref [] in
   let deadline = if cfg.time_budget_s > 0. then Some (t0 +. cfg.time_budget_s) else None in
   let out_of_time () =
     match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
-  let i = ref 0 in
-  while !i < cfg.cases && not (out_of_time ()) do
-    let case = Gen.case ~max_qubits:cfg.max_qubits ~seed:cfg.seed !i in
-    let shrink_rng = Rng.create2 cfg.seed (0x5eed + !i) in
-    let observe name fails dt =
-      let s = stat name in
-      s.ran <- s.ran + 1;
-      s.seconds <- s.seconds +. dt;
-      if fails <> [] then s.failed <- s.failed + 1
-    in
-    let failures = ref [] in
-    let collect name thunk =
-      let fails, dt = Report.timed thunk in
-      observe name fails dt;
-      failures := !failures @ fails
-    in
-    collect "parser" (fun () ->
-        Properties.roundtrip ~params:case.Gen.params case.Gen.program);
-    let pauli_rng = Rng.create2 cfg.seed (0xb175 + !i) in
-    collect "pauli_ops" (fun () ->
-        Properties.pauli_ops pauli_rng case.Gen.program);
-    List.iter
-      (fun pl ->
-        collect pl.Properties.name (fun () ->
-            Properties.check_pipeline ~dense_limit:cfg.dense_limit pl case.Gen.program))
-      cfg.pipelines;
-    if cfg.lint then
-      collect "lint" (fun () ->
-          Properties.lint ?coupling:cfg.coupling case.Gen.program);
-    if cfg.metamorphic then begin
-      let meta_rng = Rng.create2 cfg.seed (0x4d455441 + !i) in
-      collect "metamorphic" (fun () ->
-          Properties.metamorphic ~dense_limit:cfg.dense_limit meta_rng case.Gen.program)
-    end;
-    List.iter
-      (fun (f : Properties.failure) ->
-        log
-          (Printf.sprintf "FAIL case %d (%s): %s/%s — %s; shrinking..." case.Gen.id
-             case.Gen.family f.Properties.pipeline f.Properties.check
-             f.Properties.detail);
-        let shrunk, shrink =
-          Shrink.minimize ~max_attempts:cfg.shrink_attempts
-            ~reproduces:(reproduces cfg shrink_rng case f)
-            case.Gen.program
-        in
-        let artifact =
-          Option.map
-            (fun dir -> Artifact.write ~dir ~seed:cfg.seed ~case ~failure:f ~shrunk)
-            cfg.out_dir
-        in
-        (match artifact with
-        | Some path -> log (Printf.sprintf "  reproducer: %s.pauli" path)
-        | None -> ());
-        outcomes := { case; failure = f; shrunk; shrink; artifact } :: !outcomes)
-      !failures;
-    incr i
-  done;
+  (* Case evaluation fans out across the domain pool; a case whose turn
+     comes after the deadline is skipped.  With [jobs = 1] the pool runs
+     inline in submission order, reproducing the sequential time-budget
+     prefix exactly; with [jobs > 1] the cut is approximate (cases
+     in flight at the deadline still finish). *)
+  let evals =
+    Ph_pool.Pool.map ~jobs:(max 1 cfg.jobs)
+      (fun i -> if out_of_time () then None else Some (evaluate cfg i))
+      (List.init cfg.cases (fun i -> i))
+  in
+  let outcomes = ref [] in
+  let cases_run = ref 0 in
+  List.iter
+    (fun eval ->
+      match eval with
+      | Error e -> raise e (* an evaluator bug, not a case failure *)
+      | Ok None -> () (* skipped: past the time budget *)
+      | Ok (Some (case, checks)) ->
+        incr cases_run;
+        List.iter
+          (fun (name, fails, dt) ->
+            let s = stat name in
+            s.ran <- s.ran + 1;
+            s.seconds <- s.seconds +. dt;
+            if fails <> [] then s.failed <- s.failed + 1)
+          checks;
+        let failures = List.concat_map (fun (_, fails, _) -> fails) checks in
+        let shrink_rng = Rng.create2 cfg.seed (0x5eed + case.Gen.id) in
+        List.iter
+          (fun (f : Properties.failure) ->
+            log
+              (Printf.sprintf "FAIL case %d (%s): %s/%s — %s; shrinking..."
+                 case.Gen.id case.Gen.family f.Properties.pipeline
+                 f.Properties.check f.Properties.detail);
+            let shrunk, shrink =
+              Shrink.minimize ~max_attempts:cfg.shrink_attempts
+                ~reproduces:(reproduces cfg shrink_rng case f)
+                case.Gen.program
+            in
+            let artifact =
+              Option.map
+                (fun dir ->
+                  Artifact.write ~dir ~seed:cfg.seed ~case ~failure:f ~shrunk)
+                cfg.out_dir
+            in
+            (match artifact with
+            | Some path -> log (Printf.sprintf "  reproducer: %s.pauli" path)
+            | None -> ());
+            outcomes := { case; failure = f; shrunk; shrink; artifact } :: !outcomes)
+          failures)
+    evals;
   {
-    cases_run = !i;
+    cases_run = !cases_run;
     per_check =
       List.rev_map
         (fun name ->

@@ -1,0 +1,138 @@
+(* Domain worker pool: a FIFO of thunks behind a mutex, a condition
+   variable each for "queue non-empty" (workers) and "all jobs done"
+   (waiters).  Results flow back through whatever the thunks capture;
+   the mutex hand-off on [pending] gives the happens-before edge that
+   makes those writes visible to the waiter. *)
+
+type t = {
+  n_workers : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  mutable pending : int; (* submitted and not yet finished *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let workers t = t.n_workers
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Runs with the lock held; returns with the lock held. *)
+let next_job t =
+  let rec go () =
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.stop then None
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      go ()
+    end
+  in
+  go ()
+
+let finish_one t =
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.idle
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    match next_job t with
+    | None -> Mutex.unlock t.mutex
+    | Some job ->
+      Mutex.unlock t.mutex;
+      (* Job closures are expected to capture their own failures
+         ([map] wraps in [Result]); a raw [submit] thunk that raises
+         must still not kill the worker or wedge [wait]. *)
+      (try job () with _ -> ());
+      locked t (fun () -> finish_one t);
+      loop ()
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      n_workers = n;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      pending = 0;
+      stop = false;
+      domains = [];
+      closed = false;
+    }
+  in
+  (* n = 1: sequential inline mode — jobs run at [wait] time on the
+     submitting domain, in submission order.  No spawn, no scheduling
+     jitter: `--jobs 1` is exactly the sequential program. *)
+  if n > 1 then
+    t.domains <- List.init n (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  locked t (fun () ->
+      if t.closed then invalid_arg "Pool.submit: pool is shut down";
+      Queue.push job t.queue;
+      t.pending <- t.pending + 1;
+      Condition.signal t.nonempty)
+
+let drain_inline t =
+  let rec go () =
+    let job = locked t (fun () -> Queue.take_opt t.queue) in
+    match job with
+    | None -> ()
+    | Some job ->
+      (try job () with _ -> ());
+      locked t (fun () -> finish_one t);
+      go ()
+  in
+  go ()
+
+let wait t =
+  if t.domains = [] then drain_inline t;
+  locked t (fun () ->
+      while t.pending > 0 do
+        Condition.wait t.idle t.mutex
+      done)
+
+let shutdown t =
+  wait t;
+  locked t (fun () ->
+      t.closed <- true;
+      t.stop <- true;
+      Condition.broadcast t.nonempty);
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+type timing = { queue_s : float; run_s : float }
+
+let map_timed ~jobs f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let n = List.length xs in
+    let jobs = max 1 (min jobs n) in
+    let results = Array.make n None in
+    let pool = create jobs in
+    List.iteri
+      (fun i x ->
+        let submitted = Unix.gettimeofday () in
+        submit pool (fun () ->
+            let start = Unix.gettimeofday () in
+            let r = try Ok (f x) with e -> Error e in
+            let finish = Unix.gettimeofday () in
+            results.(i) <-
+              Some (r, { queue_s = start -. submitted; run_s = finish -. start })))
+      xs;
+    wait pool;
+    shutdown pool;
+    Array.to_list (Array.map Option.get results)
+
+let map ~jobs f xs = List.map fst (map_timed ~jobs f xs)

@@ -1,0 +1,45 @@
+(** Fixed-size domain worker pool over a mutex/condition-protected work
+    queue.
+
+    Workers are OCaml 5 [Domain]s; jobs are closures pulled from a FIFO
+    queue.  A job that raises does not kill its worker or the batch: the
+    exception is captured and returned to the submitter
+    (fault isolation).  [map] preserves submission order in its result
+    list regardless of completion order, which is what makes pooled
+    batch reports byte-identical to sequential ones. *)
+
+type t
+
+(** [create n] spawns [n] worker domains ([n >= 1]).  [n = 1] is
+    special-cased: no domain is spawned and jobs run inline at [wait]
+    time in submission order, so a single-worker pool is behaviourally
+    identical to a plain sequential loop. *)
+val create : int -> t
+
+val workers : t -> int
+
+(** Enqueue a job.  @raise Invalid_argument after [shutdown]. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Block until every submitted job has finished. *)
+val wait : t -> unit
+
+(** Drain the queue, then join and release the worker domains.  The pool
+    must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** Per-job pool telemetry. *)
+type timing = {
+  queue_s : float;  (** submission → a worker picked the job up *)
+  run_s : float;  (** job body wall time *)
+}
+
+(** [map ~jobs f xs] runs [f] over [xs] on a fresh [jobs]-worker pool
+    and returns the results in submission (list) order.  A raising call
+    yields [Error exn] in its slot; the other jobs still complete.
+    [jobs] is clamped to [1 .. length xs]. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+
+(** {!map} plus per-job queue-wait / run telemetry. *)
+val map_timed :
+  jobs:int -> ('a -> 'b) -> 'a list -> (('b, exn) result * timing) list
