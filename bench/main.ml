@@ -126,19 +126,14 @@ let cached ~bench ~config ~fp prog (f : unit -> Pipelines.run) =
       let c = cell ~bench ~config prog (f ()) in
       if c.c_verified then
         Ph_pool.Cache.store cache key
-          (Json.Obj
-             [
-               "verified", Json.Bool true;
-               "record", Report.record_to_json c.c_record;
-             ]);
+          (Ph_pool.Batch.payload_of_record c.c_record);
       c
     in
-    (match Ph_pool.Cache.find cache key with
-    | None -> compile ()
-    | Some payload ->
-      (match Report.record_of_json (Json.get "record" payload) with
-      | r -> { c_record = { r with Report.bench; config }; c_verified = true }
-      | exception Json.Parse_error _ -> compile ()))
+    (match Option.bind (Ph_pool.Cache.find cache key)
+             Ph_pool.Batch.record_of_payload
+     with
+    | Some r -> { c_record = { r with Report.bench; config }; c_verified = true }
+    | None -> compile ())
 
 let emit_cell c =
   if !json_enabled then
@@ -743,6 +738,63 @@ let fuzz_entry args =
   Printf.eprintf "elapsed: %.2fs\n" summary.Runner.seconds;
   exit (if Runner.failure_count summary = 0 then 0 else 2)
 
+(* ---------- serve: daemon throughput / latency study ---------- *)
+
+(* Spins an in-process serve daemon (ephemeral port, workers from
+   --jobs, cache from --cache) and fires table-2 FT workloads at it
+   with the phc-bomb load generator.  Defaults to the Heisen-1D
+   workload; pass benchmark names to widen the set. *)
+let serve_bench ~clients ~rps ~duration filters =
+  let benches =
+    match List.filter (wanted filters) (Suite.ft ()) with
+    | benches when filters <> [] -> benches
+    | benches ->
+      List.filter (fun (b : Suite.t) -> b.Suite.name = "Heisen-1D") benches
+  in
+  if benches = [] then begin
+    prerr_endline "serve: no matching FT benchmarks";
+    exit 1
+  end;
+  let workloads =
+    List.map
+      (fun (b : Suite.t) ->
+        (* canonical text: numeric parameters, so the daemon-side parse
+           needs no bindings *)
+        Ph_serve.Bomb.workload ~name:b.Suite.name
+          (Ph_serve.Protocol.compile_request ~name:b.Suite.name ~backend:"ft"
+             (Ph_pool.Batch.canonical_text (b.Suite.generate ()))))
+      benches
+  in
+  let server =
+    Ph_serve.Server.start
+      (Ph_serve.Server.config ~jobs:!bench_jobs ~max_queue:256
+         ?cache:!bench_cache
+         ~log:(fun m -> Printf.eprintf "serve: %s\n%!" m)
+         (Ph_serve.Protocol.Tcp ("127.0.0.1", 0)))
+  in
+  Printf.printf "\n=== serve: %d client(s), %d worker(s), %.0fs%s ===\n%!"
+    clients !bench_jobs duration
+    (if rps > 0. then Printf.sprintf ", %.0f rps target" rps else "");
+  List.iter
+    (fun (w : Ph_serve.Bomb.workload) ->
+      Printf.printf "workload: %s\n" w.Ph_serve.Bomb.w_name)
+    workloads;
+  let summary =
+    Ph_serve.Bomb.run
+      ~address:(Ph_serve.Server.address server)
+      ~clients ~rps ~duration_s:duration workloads
+  in
+  Ph_serve.Bomb.print_summary stdout summary;
+  Ph_serve.Server.drain server;
+  exit
+    (if
+       summary.Ph_serve.Bomb.failed = 0
+       && summary.Ph_serve.Bomb.transport_errors = 0
+       && summary.Ph_serve.Bomb.mismatches = 0
+       && summary.Ph_serve.Bomb.ok > 0
+     then 0
+     else 1)
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -761,7 +813,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint] [--jobs N] [--cache DIR]\n\
     \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
-    \       main.exe fuzz [CASES] [SEED]";
+    \       main.exe fuzz [CASES] [SEED]\n\
+    \       main.exe serve [benchmark names...] [--clients N] [--rps R] [--duration S] [--jobs N] [--cache DIR]";
   exit 1
 
 let () =
@@ -802,6 +855,17 @@ let () =
   | "compare" :: a :: b :: _ -> exit (compare_reports ?fail_on a b)
   | "compare" :: _ -> usage ()
   | "fuzz" :: rest -> fuzz_entry rest
+  | "serve" :: rest ->
+    let num key default rest =
+      match extract_opt key [] rest with
+      | None, rest -> default, rest
+      | Some s, rest ->
+        (match float_of_string_opt s with Some f when f > 0. -> f, rest | _ -> usage ())
+    in
+    let clients, rest = num "--clients" 4. rest in
+    let rps, rest = num "--rps" 0. rest in
+    let duration, rest = num "--duration" 5. rest in
+    serve_bench ~clients:(int_of_float clients) ~rps ~duration rest
   | "timing" :: _ -> timing ()
   | name :: filters when List.mem_assoc name experiments ->
     (List.assoc name experiments) filters

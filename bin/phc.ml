@@ -18,20 +18,10 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let parse_device spec =
-  match String.split_on_char ':' spec with
-  | [ "manhattan" ] -> Ok Ph_hardware.Devices.manhattan
-  | [ "melbourne" ] -> Ok Ph_hardware.Devices.melbourne
-  | [ "line"; n ] ->
-    (try Ok (Ph_hardware.Devices.line (int_of_string n))
-     with _ -> Error (`Msg "line:N needs an integer"))
-  | [ "grid"; dims ] ->
-    (match String.split_on_char 'x' dims with
-    | [ r; c ] ->
-      (try Ok (Ph_hardware.Devices.grid (int_of_string r) (int_of_string c))
-       with _ -> Error (`Msg "grid:RxC needs integers"))
-    | _ -> Error (`Msg "grid:RxC needs RxC"))
-  | _ -> Error (`Msg "unknown device (manhattan | melbourne | line:N | grid:RxC)")
+(* Option grammar (devices, schedules, config construction and naming)
+   lives in Ph_serve.Protocol so the CLI and the serve daemon accept
+   exactly the same vocabulary. *)
+let parse_device = Ph_serve.Protocol.parse_device
 
 let parse_param spec =
   match String.index_opt spec '=' with
@@ -41,35 +31,15 @@ let parse_param spec =
      with _ -> Error (`Msg "parameter binding needs name=float"))
   | None -> Error (`Msg "parameter binding needs name=float")
 
-let schedule_of = function
-  | "gco" -> Ok Config.Gco
-  | "do" -> Ok Config.Depth_oriented
-  | "maxov" -> Ok Config.Max_overlap
-  | "none" -> Ok Config.Program_order
-  | s -> Error (`Msg (Printf.sprintf "unknown schedule %S (gco | do | maxov | none)" s))
+let schedule_of = Ph_serve.Protocol.schedule_of_string
 
 let config_name backend device schedule =
-  let sched =
-    match schedule with
-    | Config.Gco -> "gco"
-    | Config.Depth_oriented -> "do"
-    | Config.Max_overlap -> "maxov"
-    | Config.Program_order -> "none"
-  in
-  match backend with
-  | "sc" -> Printf.sprintf "sc/%s/%s" device sched
-  | b -> Printf.sprintf "%s/%s" b sched
+  Ph_serve.Protocol.config_name ~backend ~device ~schedule
 
 let config_for ~backend ~device ~schedule ~lint ~window =
-  if window <= 0 then failwith "window must be positive";
-  match backend with
-  | "ft" -> Config.ft ~schedule ~lint ~window ()
-  | "it" -> Config.ion_trap ~schedule ~lint ~window ()
-  | "sc" ->
-    (match parse_device device with
-    | Ok coupling -> Config.sc ~schedule ~lint ~window coupling
-    | Error (`Msg m) -> failwith m)
-  | b -> failwith (Printf.sprintf "unknown backend %S (ft | sc | it)" b)
+  match Ph_serve.Protocol.config_for ~backend ~device ~schedule ~lint ~window with
+  | Ok config -> config
+  | Error (`Msg m) -> failwith m
 
 (* Lint findings go to stderr (stdout carries metrics / JSON); returns
    true when error-severity findings must fail the run. *)
@@ -79,7 +49,7 @@ let report_lint ~lint (out : Compiler.output) =
   lint = Lint.Diag.Error_level && Compiler.lint_errors out <> []
 
 let run file backend device schedule window params print_circuit no_verify lint json
-    output =
+    normalize output =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
@@ -96,19 +66,21 @@ let run file backend device schedule window params print_circuit no_verify lint 
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (program, out) ->
     let lint_failed = report_lint ~lint out in
-    if json then
+    if json then begin
       (* same record schema as bench/main.exe --json, one object *)
-      print_endline
-        (Json.to_string ~indent:true
-           (Report.record_to_json
-              {
-                Report.bench = Filename.basename file;
-                config = config_name backend device schedule;
-                qubits = Ph_pauli_ir.Program.n_qubits program;
-                paulis = Ph_pauli_ir.Program.term_count program;
-                metrics = out.Compiler.metrics;
-                trace = out.Compiler.trace;
-              }))
+      let record =
+        {
+          Report.bench = Filename.basename file;
+          config = config_name backend device schedule;
+          qubits = Ph_pauli_ir.Program.n_qubits program;
+          paulis = Ph_pauli_ir.Program.term_count program;
+          metrics = out.Compiler.metrics;
+          trace = out.Compiler.trace;
+        }
+      in
+      let record = if normalize then Report.normalize_record record else record in
+      print_endline (Json.to_string ~indent:true (Report.record_to_json record))
+    end
     else begin
       Printf.printf "program: %d qubits, %d blocks, %d Pauli strings\n"
         (Ph_pauli_ir.Program.n_qubits program)
@@ -215,6 +187,13 @@ let json_arg =
                per-stage timings and pass counters) instead of the human-readable \
                summary.")
 
+let normalize_arg =
+  Arg.(value & flag & info [ "normalize" ]
+         ~doc:"With $(b,--json): zero the wall-clock fields of the record \
+               ($(i,Report.normalize_record)), making the output a pure \
+               function of (source, options) — the bytes the serve daemon \
+               answers with, so the two are directly diffable.")
+
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
          ~doc:"Write the compiled circuit as OpenQASM 2.0.")
@@ -223,7 +202,7 @@ let compile_term =
   Term.(
     const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ window_arg
     $ params_arg $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg
-    $ output_arg)
+    $ normalize_arg $ output_arg)
 
 let compile_cmd =
   Cmd.v
@@ -538,11 +517,153 @@ let fuzz_cmd =
       $ fuzz_device_arg $ out_arg $ time_budget_arg $ dense_limit_arg
       $ max_qubits_arg $ no_metamorphic_arg $ fuzz_json_arg)
 
+(* ---------- phc serve: persistent compile daemon ---------- *)
+
+let address_of ~socket ~host ~port =
+  match socket with
+  | Some path -> Ph_serve.Protocol.Unix_path path
+  | None -> Ph_serve.Protocol.Tcp (host, port)
+
+let run_serve socket host port jobs max_queue cache_dir =
+  if jobs < 1 then begin
+    prerr_endline "serve: --jobs must be positive";
+    1
+  end
+  else begin
+    let cache = Option.map (fun dir -> Ph_pool.Cache.create ~dir ()) cache_dir in
+    let cfg =
+      Ph_serve.Server.config ~jobs ~max_queue ?cache
+        ~log:(fun m -> Printf.eprintf "phc serve: %s\n%!" m)
+        (address_of ~socket ~host ~port)
+    in
+    match Ph_serve.Server.start cfg with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "serve: cannot bind %s: %s\n"
+        (Ph_serve.Protocol.address_to_string cfg.Ph_serve.Server.address)
+        (Unix.error_message e);
+      1
+    | server ->
+      Ph_serve.Server.install_signal_handlers server;
+      Ph_serve.Server.wait server;
+      0
+  end
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on (or connect to) a Unix-domain socket instead of TCP.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"TCP listen/connect address (numeric).")
+
+let port_arg =
+  Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT"
+         ~doc:"TCP port; 0 picks an ephemeral port (the daemon logs the \
+               bound address).")
+
+let max_queue_arg =
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Admission bound: compile jobs admitted but not yet answered. \
+               At the bound new compile requests get a structured \
+               $(b,overloaded) error immediately instead of queueing.")
+
+let serve_cmd =
+  let doc =
+    "run the persistent compile daemon: a newline-delimited-JSON request/\
+     response protocol over TCP or a Unix socket, a fixed pool of worker \
+     domains behind bounded admission control (load is shed with structured \
+     overloaded responses), and a compile cache that stays warm across \
+     requests; SIGTERM/SIGINT drain gracefully — in-flight compiles finish, \
+     final stats are logged, then the process exits 0"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ socket_arg $ host_arg $ port_arg $ jobs_arg
+      $ max_queue_arg $ cache_arg)
+
+(* ---------- phc bomb: load generator against a daemon ---------- *)
+
+let run_bomb files socket host port backend device schedule window params lint
+    no_verify clients rps duration save_dir =
+  match
+    if files = [] then Error "bomb: no input files"
+    else if clients < 1 then Error "bomb: --clients must be positive"
+    else if duration <= 0. then Error "bomb: --duration must be positive"
+    else
+      try
+        Ok
+          (List.map
+             (fun file ->
+               Ph_serve.Bomb.workload ~name:(Filename.basename file)
+                 (Ph_serve.Protocol.compile_request
+                    ~name:(Filename.basename file) ~backend ~device ~schedule
+                    ~window ~lint ~verify:(not no_verify) ~params
+                    (read_file file)))
+             files)
+      with Sys_error m -> Error m
+  with
+  | Error m ->
+    prerr_endline m;
+    1
+  | Ok workloads -> (
+    let address = address_of ~socket ~host ~port in
+    match
+      Ph_serve.Bomb.run ~address ~clients ~rps ~duration_s:duration
+        ?save_dir workloads
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "bomb: cannot reach %s: %s\n"
+        (Ph_serve.Protocol.address_to_string address)
+        (Unix.error_message e);
+      1
+    | summary ->
+      Ph_serve.Bomb.print_summary stdout summary;
+      if
+        summary.Ph_serve.Bomb.failed = 0
+        && summary.Ph_serve.Bomb.transport_errors = 0
+        && summary.Ph_serve.Bomb.mismatches = 0
+        && summary.Ph_serve.Bomb.ok > 0
+      then 0
+      else 1)
+
+let clients_arg =
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+         ~doc:"Concurrent client connections.")
+
+let rps_arg =
+  Arg.(value & opt float 0. & info [ "rps" ] ~docv:"RATE"
+         ~doc:"Aggregate request rate across all clients (0 = flat out).")
+
+let duration_arg =
+  Arg.(value & opt float 5. & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"How long to fire requests.")
+
+let save_arg =
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
+         ~doc:"Write each workload's first successful record to \
+               $(docv)/<name>.json — the same bytes $(b,phc compile --json) \
+               $(b,--normalize) prints, for byte-level diffing.")
+
+let bomb_cmd =
+  let doc =
+    "load-test a running serve daemon: N client threads fire the given \
+     Pauli IR files round-robin at a target rate, latencies are collected \
+     per request, and the run fails if any response was a non-overload \
+     error, any record differed between repeats of the same workload, or \
+     any connection broke; prints throughput and p50/p95/p99 latency"
+  in
+  Cmd.v (Cmd.info "bomb" ~doc)
+    Term.(
+      const run_bomb $ batch_files_arg $ socket_arg $ host_arg $ port_arg
+      $ backend_arg $ device_arg $ schedule_arg $ window_arg $ params_arg
+      $ lint_arg $ no_verify_arg $ clients_arg $ rps_arg $ duration_arg
+      $ save_arg)
+
 let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in
   Cmd.group ~default:compile_term
     (Cmd.info "phc" ~version:"1.0" ~doc)
-    [ compile_cmd; batch_cmd; lint_cmd; fuzz_cmd ]
+    [ compile_cmd; batch_cmd; lint_cmd; fuzz_cmd; serve_cmd; bomb_cmd ]
 
 (* `phc input.pauli` (no sub-command) must keep working: route a leading
    positional that is not a sub-command name through `compile`. *)
@@ -553,7 +674,7 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "fuzz" | "compile" | "lint" | "batch" -> false
+      | "fuzz" | "compile" | "lint" | "batch" | "serve" | "bomb" -> false
       | s -> String.length s > 0 && s.[0] <> '-'
     then Array.append [| argv.(0); "compile" |] (Array.sub argv 1 (Array.length argv - 1))
     else argv

@@ -67,7 +67,8 @@ let canonical_text prog =
 
 (* Only verified compiles are stored, and the [verified] field says so
    explicitly, so a payload can never be mistaken for an unchecked
-   result. *)
+   result.  The shape is shared by every cache writer (batch, serve,
+   bench) so their entries are mutually readable. *)
 let payload_of_record record =
   Json.Obj [ "verified", Json.Bool true; "record", Report.record_to_json record ]
 
@@ -79,7 +80,7 @@ let record_of_payload payload =
 
 (* ---------- one compile job (runs on a worker domain) ---------- *)
 
-let pauli_frame_ok (out : Compiler.output) =
+let frame_verified (out : Compiler.output) =
   match out.Compiler.initial_layout, out.Compiler.final_layout with
   | Some initial, Some final ->
     Ph_verify.Pauli_frame.verify_sc ~circuit:out.Compiler.circuit
@@ -101,7 +102,7 @@ let compile_one ~config ~config_name ~verify (j : job) prog : job_result =
           stage = "lint";
           message = Lint.Diag.to_string (List.hd lint_errors);
         }
-    else if verify && not (pauli_frame_ok out) then
+    else if verify && not (frame_verified out) then
       Failed
         {
           job_id = j.id;

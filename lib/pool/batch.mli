@@ -44,6 +44,21 @@ type t = {
       (** cache traffic of this batch ([None] when run uncached) *)
 }
 
+(** Pauli-frame certification of one compile output: SC outputs verify
+    against their qubit layouts, FT / ion-trap outputs against the
+    rotation trace.  Shared with the serve daemon so both services
+    accept exactly the same circuits. *)
+val frame_verified : Compiler.output -> bool
+
+(** Compile-cache payload codec shared by every cache writer (batch,
+    serve daemon, bench harness), so their entries are mutually
+    readable.  Only verified records may be stored;
+    {!record_of_payload} returns [None] unless the payload carries the
+    explicit [verified] marker and a well-formed record. *)
+
+val payload_of_record : Report.record -> Json.t
+val record_of_payload : Json.t -> Report.record option
+
 (** Canonical cache-key text of a program: the concrete Pauli IR syntax
     with every block parameter printed as its resolved numeric value
     (symbolic labels erased), so equal-semantics sources address equal

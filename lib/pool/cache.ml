@@ -26,9 +26,45 @@ type t = {
    payload schema can never misread old entries. *)
 let format_version = "phc-cache/1"
 
+(* Writer temp files are [.tmp-<key>-<pid>].  A writer that crashed
+   between [open_out] and [Sys.rename] leaves its temp behind forever;
+   sweep them when a cache attaches to the directory.  Only temps whose
+   owning pid is demonstrably gone are removed — a temp belonging to a
+   live concurrent writer must survive the sweep (and if the pid test
+   ever misfires, the writer's [store] retry rewrites the entry). *)
+let temp_pid name =
+  match String.rindex_opt name '-' with
+  | None -> None
+  | Some i ->
+    int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1))
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true (* EPERM: alive, not ours *)
+
+let sweep_stale_temps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        if String.length name > 5 && String.sub name 0 5 = ".tmp-" then begin
+          let stale =
+            match temp_pid name with
+            | Some pid -> pid <> Unix.getpid () && not (pid_alive pid)
+            | None -> true (* unparseable: not one of ours, reclaim *)
+          in
+          if stale then
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ()
+        end)
+      entries
+
 let create ?dir ?(max_memory_entries = 4096) () =
   if max_memory_entries < 1 then
     invalid_arg "Cache.create: max_memory_entries must be positive";
+  Option.iter sweep_stale_temps dir;
   {
     dir;
     max_memory_entries;
@@ -58,7 +94,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+(* Attempt the mkdir unconditionally and tolerate losing the race: with
+   two processes sharing one --cache DIR, "check then mkdir" let the
+   loser's [Sys.mkdir] raise and the enclosing [store] silently drop
+   the entry.  [Sys.mkdir] reports EEXIST as [Sys_error], so re-check
+   existence to separate "someone else created it" from real failures
+   (permissions, missing parent). *)
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ when Sys.file_exists dir -> ()
 
 (* Unlocked: caller holds the mutex.  Insert + FIFO-evict. *)
 let insert_mem t key payload =
@@ -106,14 +152,21 @@ let disk_store dir key payload =
     Filename.concat dir
       (Printf.sprintf ".tmp-%s-%d" key (Unix.getpid ()))
   in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (Json.to_string ~indent:true payload);
-      output_char oc '\n');
-  (* Atomic publish: readers see either no entry or a complete one. *)
-  Sys.rename tmp path
+  (* Any failure past [open_out] must reclaim the temp, or a crashed or
+     interrupted store leaves [.tmp-*] litter that only the next
+     process's sweep would collect. *)
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string ~indent:true payload);
+        output_char oc '\n');
+    (* Atomic publish: readers see either no entry or a complete one. *)
+    Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let store t key payload =
   locked t (fun () ->
@@ -121,7 +174,15 @@ let store t key payload =
       t.c <- { t.c with stores = t.c.stores + 1 });
   match t.dir with
   | None -> ()
-  | Some dir -> ( try disk_store dir key payload with Sys_error _ -> ())
+  | Some dir -> (
+    (* One retry: a first failure may be transient contention with a
+       concurrent process attaching to the same directory (its sweep
+       racing our temp, the mkdir race above).  A store that still
+       fails is dropped — the cache is a cache — but never silently
+       *because* another process also wanted the directory. *)
+    try disk_store dir key payload
+    with Sys_error _ -> (
+      try disk_store dir key payload with Sys_error _ -> ()))
 
 let counters_to_json (c : counters) =
   Json.Obj

@@ -27,8 +27,11 @@ type counters = {
 }
 
 (** [create ?dir ?max_memory_entries ()] — [dir] enables the disk tier
-    (created on demand); [max_memory_entries] bounds the memory tier
-    (default [4096], oldest-inserted evicted first). *)
+    (created on demand, safely even when several processes race the
+    creation); [max_memory_entries] bounds the memory tier (default
+    [4096], oldest-inserted evicted first).  Attaching to a disk tier
+    sweeps stale [.tmp-*] files left by crashed writers (a temp is
+    stale when its embedded writer pid no longer exists). *)
 val create : ?dir:string -> ?max_memory_entries:int -> unit -> t
 
 val dir : t -> string option
@@ -42,7 +45,10 @@ val key : config_fp:string -> text:string -> string
 val find : t -> string -> Ph_json.t option
 
 (** Insert into the memory tier (evicting the oldest entry when full)
-    and, when the disk tier is enabled, persist atomically. *)
+    and, when the disk tier is enabled, persist atomically (temp file +
+    rename; the temp is reclaimed on any failure path).  A disk write
+    that fails is retried once — losing a race with another process
+    sharing the directory must not drop the entry. *)
 val store : t -> string -> Ph_json.t -> unit
 
 val counters : t -> counters

@@ -10,16 +10,46 @@
 
 type t
 
-(** [create n] spawns [n] worker domains ([n >= 1]).  [n = 1] is
-    special-cased: no domain is spawned and jobs run inline at [wait]
-    time in submission order, so a single-worker pool is behaviourally
-    identical to a plain sequential loop. *)
-val create : int -> t
+(** [create ?inline_single n] spawns [n] worker domains ([n >= 1]).
+    [n = 1] with [inline_single] (the default) is special-cased: no
+    domain is spawned and jobs run inline at [wait] time in submission
+    order, so a single-worker pool is behaviourally identical to a
+    plain sequential loop.  Services that block on individual job
+    results (and therefore never reach [wait] while a job is queued)
+    must pass [~inline_single:false] so even a one-worker pool runs its
+    jobs on a real worker domain. *)
+val create : ?inline_single:bool -> int -> t
 
 val workers : t -> int
 
 (** Enqueue a job.  @raise Invalid_argument after [shutdown]. *)
 val submit : t -> (unit -> unit) -> unit
+
+(** [try_submit t ~max_pending job] — enqueue [job] unless [t] already
+    has [max_pending] admitted-but-unfinished jobs (queued or running),
+    in which case return [false] and enqueue nothing.  Check and
+    enqueue are atomic, so concurrent submitters cannot overshoot the
+    bound: this is the admission-control primitive of the serve
+    daemon's backpressure.  @raise Invalid_argument after [shutdown]. *)
+val try_submit : t -> max_pending:int -> (unit -> unit) -> bool
+
+(** Admitted-but-unfinished jobs (queue depth plus running jobs). *)
+val pending : t -> int
+
+(** Surfacing of job-body exceptions that escaped a raw {!submit} thunk
+    ([map] never contributes: it wraps its jobs in [Result]).  A
+    non-fatal exception is counted and the worker keeps serving; a
+    fatal one ([Out_of_memory], [Stack_overflow]) additionally kills
+    its worker (after spawning a replacement), because the worker's
+    state can no longer be trusted.  A service should alarm when
+    [unexpected_exceptions] grows. *)
+type worker_stats = {
+  unexpected_exceptions : int;  (** total escaped job exceptions *)
+  last_unexpected : string option;  (** printed form of the latest one *)
+  dead_workers : int;  (** workers killed by fatal exceptions *)
+}
+
+val worker_stats : t -> worker_stats
 
 (** Block until every submitted job has finished. *)
 val wait : t -> unit

@@ -1,0 +1,189 @@
+(* Load generator.  Each client thread owns one connection and a local
+   accumulator; the shared state (first-response-per-workload table,
+   used for determinism checking and --save) is behind one mutex taken
+   once per successful response. *)
+
+module Json = Ph_json
+
+type workload = {
+  w_name : string;
+  w_request : Protocol.request;
+}
+
+let workload ~name request = { w_name = name; w_request = request }
+
+type summary = {
+  sent : int;
+  ok : int;
+  failed : int;
+  overloaded : int;
+  transport_errors : int;
+  mismatches : int;
+  wall_s : float;
+  latencies_s : float array;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+type acc = {
+  mutable a_sent : int;
+  mutable a_ok : int;
+  mutable a_failed : int;
+  mutable a_overloaded : int;
+  mutable a_transport : int;
+  mutable a_mismatches : int;
+  mutable a_latencies : float list;
+}
+
+let acc () =
+  {
+    a_sent = 0;
+    a_ok = 0;
+    a_failed = 0;
+    a_overloaded = 0;
+    a_transport = 0;
+    a_mismatches = 0;
+    a_latencies = [];
+  }
+
+let error_code response =
+  match Json.member "error" response with
+  | Some err -> (
+    match Json.member "code" err with Some (Json.String c) -> Some c | _ -> None)
+  | None -> None
+
+(* The canonical bytes of a response's record: exactly what
+   [phc compile --json --normalize] prints (the daemon already
+   normalized it). *)
+let record_bytes response =
+  Option.map (Json.to_string ~indent:true) (Json.member "record" response)
+
+let run ~address ~clients ~rps ~duration_s ?save_dir workloads =
+  if clients < 1 then invalid_arg "Bomb.run: clients must be positive";
+  if workloads = [] then invalid_arg "Bomb.run: no workloads";
+  let ws = Array.of_list workloads in
+  let first : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let first_m = Mutex.create () in
+  (* deterministic check: every successful response for a workload must
+     carry the same record bytes as the first one seen *)
+  let check_record a name response =
+    match record_bytes response with
+    | None -> a.a_mismatches <- a.a_mismatches + 1
+    | Some bytes ->
+      Mutex.lock first_m;
+      (match Hashtbl.find_opt first name with
+      | None -> Hashtbl.add first name bytes
+      | Some prior -> if prior <> bytes then a.a_mismatches <- a.a_mismatches + 1);
+      Mutex.unlock first_m
+  in
+  let interval =
+    if rps <= 0. then 0. else float_of_int clients /. rps
+  in
+  let t0 = Unix.gettimeofday () in
+  let t_end = t0 +. duration_s in
+  let client_body k =
+    let a = acc () in
+    let conn = Client.connect address in
+    let next = ref (Unix.gettimeofday ()) in
+    let i = ref k in
+    (* interleave clients across workloads so every workload gets
+       traffic even for short runs *)
+    (try
+       while Unix.gettimeofday () < t_end do
+         if interval > 0. then begin
+           let now = Unix.gettimeofday () in
+           if now < !next then Unix.sleepf (!next -. now);
+           next := Float.max now !next +. interval
+         end;
+         if Unix.gettimeofday () < t_end then begin
+           let w = ws.(!i mod Array.length ws) in
+           incr i;
+           a.a_sent <- a.a_sent + 1;
+           let s0 = Unix.gettimeofday () in
+           (match
+              Client.request conn ~id:(Json.String w.w_name) w.w_request
+            with
+           | Error _ ->
+             a.a_transport <- a.a_transport + 1;
+             raise Exit (* connection is gone; this client is done *)
+           | Ok response ->
+             a.a_latencies <- (Unix.gettimeofday () -. s0) :: a.a_latencies;
+             (match Json.member "ok" response with
+             | Some (Json.Bool true) ->
+               a.a_ok <- a.a_ok + 1;
+               check_record a w.w_name response
+             | _ ->
+               if error_code response = Some "overloaded" then
+                 a.a_overloaded <- a.a_overloaded + 1
+               else a.a_failed <- a.a_failed + 1))
+         end
+       done
+     with Exit -> ());
+    Client.close conn;
+    a
+  in
+  let results = ref [] in
+  let results_m = Mutex.create () in
+  let threads =
+    List.init clients (fun k ->
+        Thread.create
+          (fun () ->
+            let a = client_body k in
+            Mutex.lock results_m;
+            results := a :: !results;
+            Mutex.unlock results_m)
+          ())
+  in
+  List.iter Thread.join threads;
+  let accs = !results in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match save_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Hashtbl.iter
+      (fun name bytes ->
+        let oc = open_out (Filename.concat dir (name ^ ".json")) in
+        output_string oc (bytes ^ "\n");
+        close_out oc)
+      first);
+  let latencies =
+    Array.of_list (List.concat_map (fun a -> a.a_latencies) accs)
+  in
+  Array.sort compare latencies;
+  let sum f = List.fold_left (fun n a -> n + f a) 0 accs in
+  {
+    sent = sum (fun a -> a.a_sent);
+    ok = sum (fun a -> a.a_ok);
+    failed = sum (fun a -> a.a_failed);
+    overloaded = sum (fun a -> a.a_overloaded);
+    transport_errors = sum (fun a -> a.a_transport);
+    mismatches = sum (fun a -> a.a_mismatches);
+    wall_s;
+    latencies_s = latencies;
+  }
+
+let print_summary oc s =
+  let p q = 1e3 *. percentile s.latencies_s q in
+  Printf.fprintf oc
+    "requests: %d sent, %d ok, %d failed, %d overloaded, %d transport errors\n"
+    s.sent s.ok s.failed s.overloaded s.transport_errors;
+  if s.mismatches > 0 then
+    Printf.fprintf oc "DETERMINISM VIOLATION: %d mismatched records\n"
+      s.mismatches;
+  Printf.fprintf oc "throughput: %.1f req/s over %.2fs\n"
+    (float_of_int (Array.length s.latencies_s) /. s.wall_s)
+    s.wall_s;
+  if Array.length s.latencies_s > 0 then
+    Printf.fprintf oc "latency: p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n"
+      (p 50.) (p 95.) (p 99.)
+      (1e3 *. s.latencies_s.(Array.length s.latencies_s - 1))

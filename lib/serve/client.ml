@@ -1,0 +1,55 @@
+module Json = Ph_json
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.reader;
+}
+
+let connect address =
+  let domain, sockaddr =
+    match address with
+    | Protocol.Tcp (host, port) ->
+      ( Unix.PF_INET,
+        Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+    | Protocol.Unix_path path -> Unix.PF_UNIX, Unix.ADDR_UNIX path
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Protocol.reader fd }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_response t =
+  match Protocol.read_line t.reader with
+  | `Eof -> Error "daemon closed the connection"
+  | `Oversized -> Error "daemon response exceeds the line cap"
+  | `Line line -> (
+    match Json.parse line with
+    | exception Json.Parse_error m -> Error ("malformed response: " ^ m)
+    | json -> Ok json)
+
+let raw_round_trip t line =
+  match write_all t.fd (line ^ "\n") with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("send failed: " ^ Unix.error_message e)
+  | () -> read_response t
+
+let request t ~id req =
+  raw_round_trip t (Json.to_string (Protocol.request_to_json ~id req))
+
+let send_partial t s =
+  (try write_all t.fd s with Unix.Unix_error _ -> ());
+  try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,248 @@
+(* NDJSON wire protocol + the option grammar shared with bin/phc.ml.
+   Everything here is pure (no sockets except the line reader), so the
+   framing paths are unit-testable without a live daemon. *)
+
+module Json = Ph_json
+open Paulihedral
+
+type address =
+  | Tcp of string * int
+  | Unix_path of string
+
+let address_to_string = function
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+  | Unix_path path -> path
+
+let default_max_line = 16 * 1024 * 1024
+
+(* ---------- shared option grammar ---------- *)
+
+let parse_device spec =
+  match String.split_on_char ':' spec with
+  | [ "manhattan" ] -> Ok Ph_hardware.Devices.manhattan
+  | [ "melbourne" ] -> Ok Ph_hardware.Devices.melbourne
+  | [ "line"; n ] ->
+    (try Ok (Ph_hardware.Devices.line (int_of_string n))
+     with _ -> Error (`Msg "line:N needs an integer"))
+  | [ "grid"; dims ] ->
+    (match String.split_on_char 'x' dims with
+    | [ r; c ] ->
+      (try Ok (Ph_hardware.Devices.grid (int_of_string r) (int_of_string c))
+       with _ -> Error (`Msg "grid:RxC needs integers"))
+    | _ -> Error (`Msg "grid:RxC needs RxC"))
+  | _ -> Error (`Msg "unknown device (manhattan | melbourne | line:N | grid:RxC)")
+
+let schedule_of_string = function
+  | "gco" -> Ok Config.Gco
+  | "do" -> Ok Config.Depth_oriented
+  | "maxov" -> Ok Config.Max_overlap
+  | "none" -> Ok Config.Program_order
+  | s -> Error (`Msg (Printf.sprintf "unknown schedule %S (gco | do | maxov | none)" s))
+
+let config_name ~backend ~device ~schedule =
+  let sched = Config.schedule_name schedule in
+  match backend with
+  | "sc" -> Printf.sprintf "sc/%s/%s" device sched
+  | b -> Printf.sprintf "%s/%s" b sched
+
+let config_for ~backend ~device ~schedule ~lint ~window =
+  if window <= 0 then Error (`Msg "window must be positive")
+  else
+    match backend with
+    | "ft" -> Ok (Config.ft ~schedule ~lint ~window ())
+    | "it" -> Ok (Config.ion_trap ~schedule ~lint ~window ())
+    | "sc" ->
+      Result.map
+        (fun coupling -> Config.sc ~schedule ~lint ~window coupling)
+        (parse_device device)
+    | b -> Error (`Msg (Printf.sprintf "unknown backend %S (ft | sc | it)" b))
+
+(* ---------- requests ---------- *)
+
+type compile_request = {
+  name : string;
+  source : string;
+  backend : string;
+  device : string;
+  schedule : Config.schedule;
+  window : int;
+  lint : Lint.Diag.level;
+  verify : bool;
+  params : (string * float) list;
+}
+
+type request =
+  | Compile of compile_request
+  | Stats
+  | Ping
+  | Shutdown
+
+type wire_error = {
+  err_id : Json.t;
+  code : string;
+  message : string;
+}
+
+let compile_request ?(name = "program") ?(backend = "ft") ?(device = "manhattan")
+    ?(schedule = Config.Gco) ?(window = Config.default_window)
+    ?(lint = Lint.Diag.Off) ?(verify = true) ?(params = []) source =
+  Compile { name; source; backend; device; schedule; window; lint; verify; params }
+
+(* Optional-field accessors: absent means default, present-but-wrong is
+   a [bad_request], never a silent fallback. *)
+let field_err name what = Printf.sprintf "field %S must be %s" name what
+
+let str_field obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (field_err name "a string")
+
+let int_field obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (field_err name "an integer")
+
+let bool_field obj name default =
+  match Json.member name obj with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (field_err name "a boolean")
+
+let params_field obj =
+  match Json.member "params" obj with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj kvs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, Json.Float v) :: rest -> go ((k, v) :: acc) rest
+      | (k, Json.Int v) :: rest -> go ((k, float_of_int v) :: acc) rest
+      | (k, _) :: _ -> Error (field_err ("params." ^ k) "a number")
+    in
+    go [] kvs
+  | Some _ -> Error (field_err "params" "an object of numbers")
+
+let ( let* ) = Result.bind
+
+let compile_of_json obj =
+  let* source =
+    match Json.member "source" obj with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error (field_err "source" "a string")
+    | None -> Error "compile request needs a \"source\" field"
+  in
+  let* name = str_field obj "name" "program" in
+  let* backend = str_field obj "backend" "ft" in
+  let* device = str_field obj "device" "manhattan" in
+  let* sched_s = str_field obj "schedule" "gco" in
+  let* schedule =
+    Result.map_error (fun (`Msg m) -> m) (schedule_of_string sched_s)
+  in
+  let* window = int_field obj "window" Config.default_window in
+  let* lint_s = str_field obj "lint" "off" in
+  let* lint = Lint.Diag.level_of_string lint_s in
+  let* verify = bool_field obj "verify" true in
+  let* params = params_field obj in
+  Ok (Compile { name; source; backend; device; schedule; window; lint; verify; params })
+
+let request_of_line line =
+  match Json.parse line with
+  | exception Json.Parse_error m ->
+    Error { err_id = Json.Null; code = "bad_json"; message = m }
+  | json -> (
+    let id = Option.value ~default:Json.Null (Json.member "id" json) in
+    let bad message = Error { err_id = id; code = "bad_request"; message } in
+    match json with
+    | Json.Obj _ -> (
+      match Json.member "op" json with
+      | Some (Json.String "compile") -> (
+        match compile_of_json json with
+        | Ok r -> Ok (id, r)
+        | Error m -> bad m)
+      | Some (Json.String "stats") -> Ok (id, Stats)
+      | Some (Json.String "ping") -> Ok (id, Ping)
+      | Some (Json.String "shutdown") -> Ok (id, Shutdown)
+      | Some (Json.String op) -> bad (Printf.sprintf "unknown op %S" op)
+      | Some _ -> bad (field_err "op" "a string")
+      | None -> bad "request needs an \"op\" field")
+    | _ -> bad "request must be a JSON object")
+
+let request_to_json ~id request =
+  let fields =
+    match request with
+    | Stats -> [ "op", Json.String "stats" ]
+    | Ping -> [ "op", Json.String "ping" ]
+    | Shutdown -> [ "op", Json.String "shutdown" ]
+    | Compile r ->
+      [
+        "op", Json.String "compile";
+        "name", Json.String r.name;
+        "source", Json.String r.source;
+        "backend", Json.String r.backend;
+        "device", Json.String r.device;
+        "schedule", Json.String (Config.schedule_name r.schedule);
+        "window", Json.Int r.window;
+        "lint", Json.String (Lint.Diag.level_to_string r.lint);
+        "verify", Json.Bool r.verify;
+        ( "params",
+          Json.Obj (List.map (fun (k, v) -> k, Json.Float v) r.params) );
+      ]
+  in
+  Json.Obj (("id", id) :: fields)
+
+(* ---------- responses ---------- *)
+
+let ok ~id fields = Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields)
+
+let error ~id ~code ?(extra = []) message =
+  Json.Obj
+    [
+      "id", id;
+      "ok", Json.Bool false;
+      ( "error",
+        Json.Obj
+          (("code", Json.String code)
+           :: ("message", Json.String message)
+           :: extra) );
+    ]
+
+(* ---------- bounded line reader ---------- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable pending : string; (* read but not yet consumed *)
+}
+
+let reader fd = { fd; chunk = Bytes.create 65536; pending = "" }
+
+let read_line ?(max_bytes = default_max_line) r =
+  let rec go () =
+    match String.index_opt r.pending '\n' with
+    (* a complete-but-over-the-cap line is just as oversized as an
+       unterminated one: a fast peer can deliver line + newline in a
+       single read, never tripping the no-newline check below *)
+    | Some i when i > max_bytes -> `Oversized
+    | Some i ->
+      let line = String.sub r.pending 0 i in
+      r.pending <-
+        String.sub r.pending (i + 1) (String.length r.pending - i - 1);
+      `Line line
+    | None ->
+      if String.length r.pending > max_bytes then `Oversized
+      else (
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception
+            Unix.Unix_error
+              ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF | Unix.ENOTCONN), _, _)
+          ->
+          (* peer vanished: any partial line is unrecoverable *)
+          `Eof
+        | 0 -> `Eof
+        | n ->
+          r.pending <- r.pending ^ Bytes.sub_string r.chunk 0 n;
+          go ())
+  in
+  go ()

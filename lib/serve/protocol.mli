@@ -1,0 +1,143 @@
+(** Wire protocol of the compile daemon: newline-delimited JSON.
+
+    Each request is one JSON object on one line; the daemon answers
+    with exactly one JSON object on one line per request, in request
+    order per connection.  Every request may carry an [id] (any JSON
+    value) that is echoed verbatim in the response, so clients can
+    correlate; a response to an unparseable request carries [id = null].
+
+    Requests select an operation with [op]:
+
+    {v
+    {"id":1,"op":"compile","name":"pair","source":"{(XX, 1.0), 0.5};",
+     "backend":"ft","schedule":"gco","verify":true}
+    {"id":2,"op":"stats"}
+    {"id":3,"op":"ping"}
+    {"id":4,"op":"shutdown"}
+    v}
+
+    Successful responses are [{"id":..,"ok":true, ...}]; failures are
+    [{"id":..,"ok":false,"error":{"code":C,"message":M, ...}}] with a
+    stable [code] ({!section-codes}).
+
+    This module also owns the textual option grammar shared by the wire
+    protocol and the [phc] command line (backends, devices, schedules),
+    so a daemon request and a [phc compile] invocation resolve options
+    identically — the precondition for byte-identical outputs. *)
+
+open Paulihedral
+
+(** Where a daemon listens / a client connects. *)
+type address =
+  | Tcp of string * int  (** host (dotted quad), port; port [0] binds an
+                             ephemeral port (see [Server.address]) *)
+  | Unix_path of string  (** Unix-domain socket path *)
+
+val address_to_string : address -> string
+
+(** Default cap on one NDJSON line (16 MiB): large enough for any
+    realistic kernel source, small enough that a stuck or malicious
+    writer cannot balloon a connection buffer. *)
+val default_max_line : int
+
+(** {2:codes Error codes}
+
+    [bad_json] (line is not JSON), [bad_request] (JSON but not a valid
+    request), [oversized] (line exceeded the daemon's limit; connection
+    closes), [overloaded] (admission queue full — retry later),
+    [draining] (daemon is shutting down), [parse] / [compile] / [lint] /
+    [verify] (the job failed at that stage). *)
+
+(** {1 Shared option grammar} *)
+
+val parse_device :
+  string -> (Ph_hardware.Coupling.t, [ `Msg of string ]) result
+
+val schedule_of_string : string -> (Config.schedule, [ `Msg of string ]) result
+
+(** Report/record [config] label of a compile, e.g. ["sc/manhattan/do"],
+    ["ft/gco"] — identical to what [phc compile --json] writes. *)
+val config_name :
+  backend:string -> device:string -> schedule:Config.schedule -> string
+
+(** Resolve (backend, device, schedule, lint, window) to a compiler
+    configuration; [Error] on an unknown backend/device or a
+    non-positive window. *)
+val config_for :
+  backend:string ->
+  device:string ->
+  schedule:Config.schedule ->
+  lint:Lint.Diag.level ->
+  window:int ->
+  (Config.t, [ `Msg of string ]) result
+
+(** {1 Requests} *)
+
+type compile_request = {
+  name : string;  (** record [bench] label (default ["program"]) *)
+  source : string;  (** textual Pauli IR *)
+  backend : string;  (** ["ft"] (default) / ["sc"] / ["it"] *)
+  device : string;  (** SC device spec (default ["manhattan"]) *)
+  schedule : Config.schedule;  (** default [Gco], like [phc compile] *)
+  window : int;
+  lint : Lint.Diag.level;
+  verify : bool;  (** certify with the Pauli-frame verifier (default) *)
+  params : (string * float) list;  (** parser environment *)
+}
+
+type request =
+  | Compile of compile_request
+  | Stats
+  | Ping
+  | Shutdown
+
+type wire_error = {
+  err_id : Ph_json.t;  (** [id] of the offending request, [Null] if none *)
+  code : string;
+  message : string;
+}
+
+(** Decode one request line.  [Ok (id, request)] echoes the request's
+    [id] (or [Null]); [Error] carries the structured-error triple the
+    server turns into a response. *)
+val request_of_line : string -> (Ph_json.t * request, wire_error) result
+
+(** Client-side encoders (one line, no trailing newline). *)
+
+val request_to_json : id:Ph_json.t -> request -> Ph_json.t
+val compile_request : ?name:string -> ?backend:string -> ?device:string ->
+  ?schedule:Config.schedule -> ?window:int -> ?lint:Lint.Diag.level ->
+  ?verify:bool -> ?params:(string * float) list -> string -> request
+
+(** {1 Responses} *)
+
+(** [ok ~id fields] — [{"id":id,"ok":true,<fields>}]. *)
+val ok : id:Ph_json.t -> (string * Ph_json.t) list -> Ph_json.t
+
+(** [error ~id ~code ?extra message] —
+    [{"id":id,"ok":false,"error":{"code":..,"message":..,<extra>}}]. *)
+val error :
+  id:Ph_json.t ->
+  code:string ->
+  ?extra:(string * Ph_json.t) list ->
+  string ->
+  Ph_json.t
+
+(** {1 Bounded NDJSON line reader}
+
+    A buffered reader over a socket, robust to partial reads (lines
+    split across any number of [read]s) and bounded against oversized
+    lines.  Used by both the server's connection loop and the client. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** Next newline-terminated line (terminator stripped).  [`Eof] on a
+    closed/reset peer — including one that disconnected mid-line; the
+    partial tail is discarded.  [`Oversized] when a line exceeds
+    [max_bytes] — whether it arrived complete or as an unterminated
+    prefix; the stream cannot be resynced afterwards, so the caller
+    should answer and close. *)
+val read_line :
+  ?max_bytes:int -> reader -> [ `Line of string | `Eof | `Oversized ]

@@ -56,6 +56,72 @@ let test_pool_map_timed () =
       check "run time nonnegative" true (t.Pool.run_s >= 0.))
     results
 
+(* --- Pool: admission control & worker health --- *)
+
+let test_pool_try_submit_bound () =
+  let pool = Pool.create ~inline_single:false 1 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let started = Atomic.make false in
+  check "first admitted" true
+    (Pool.try_submit pool ~max_pending:2 (fun () ->
+         Atomic.set started true;
+         Mutex.lock gate;
+         Mutex.unlock gate));
+  (* once the job is running it still counts against the bound *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  check "second admitted" true
+    (Pool.try_submit pool ~max_pending:2 (fun () -> ()));
+  check_int "pending counts queued plus running" 2 (Pool.pending pool);
+  check "rejected at the bound" false
+    (Pool.try_submit pool ~max_pending:2 (fun () -> ()));
+  Mutex.unlock gate;
+  Pool.wait pool;
+  check_int "drained" 0 (Pool.pending pool);
+  check "admitted again after drain" true
+    (Pool.try_submit pool ~max_pending:2 (fun () -> ()));
+  Pool.wait pool;
+  Pool.shutdown pool
+
+let test_pool_unexpected_exception_counter () =
+  let pool = Pool.create ~inline_single:false 2 in
+  Pool.submit pool (fun () -> failwith "boom");
+  Pool.wait pool;
+  let s = Pool.worker_stats pool in
+  check_int "escaped exception counted" 1 s.Pool.unexpected_exceptions;
+  (* Printexc.to_string (Failure "boom") mentions the payload *)
+  let contains sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check "printed form kept" true
+    (match s.Pool.last_unexpected with
+    | Some m -> contains "boom" m
+    | None -> false);
+  check_int "no worker died" 0 s.Pool.dead_workers;
+  let ok = Atomic.make false in
+  Pool.submit pool (fun () -> Atomic.set ok true);
+  Pool.wait pool;
+  check "worker survived and keeps serving" true (Atomic.get ok);
+  Pool.shutdown pool
+
+let test_pool_fatal_exception_replaces_worker () =
+  let pool = Pool.create ~inline_single:false 1 in
+  Pool.submit pool (fun () -> raise Stack_overflow);
+  Pool.wait pool;
+  let ok = Atomic.make false in
+  Pool.submit pool (fun () -> Atomic.set ok true);
+  Pool.wait pool;
+  check "replacement worker serves after a fatal job" true (Atomic.get ok);
+  let s = Pool.worker_stats pool in
+  check_int "fatal exception counted" 1 s.Pool.unexpected_exceptions;
+  check_int "worker death recorded" 1 s.Pool.dead_workers;
+  (* joining the dead worker must not resurface the fatal exception *)
+  Pool.shutdown pool
+
 (* --- Cache: keys, tiers, eviction, corruption --- *)
 
 let test_cache_key () =
@@ -117,6 +183,70 @@ let test_cache_corrupt_disk_entry () =
   let c = Cache.create ~dir () in
   check "corrupt entry is a miss" true (Cache.find c k = None);
   check_int "counted as miss" 1 (Cache.counters c).Cache.misses
+
+(* --- Cache: shared-directory races, stale-temp reclamation --- *)
+
+let no_temps dir =
+  Array.for_all
+    (fun name -> not (String.length name > 5 && String.sub name 0 5 = ".tmp-"))
+    (Sys.readdir dir)
+
+(* Two writers attach to the same *not-yet-existing* directory and store
+   concurrently: the mkdir race must be invisible (no lost stores) and
+   no writer may leave its temp file behind. *)
+let test_cache_concurrent_create_and_store () =
+  let dir = temp_dir () in
+  Sys.rmdir dir;
+  let store_range lo hi () =
+    let c = Cache.create ~dir () in
+    for i = lo to hi - 1 do
+      Cache.store c
+        (Cache.key ~config_fp:"fp" ~text:(string_of_int i))
+        (Json.Int i)
+    done
+  in
+  let d1 = Domain.spawn (store_range 0 50) in
+  let d2 = Domain.spawn (store_range 25 75) in
+  Domain.join d1;
+  Domain.join d2;
+  let reader = Cache.create ~dir () in
+  for i = 0 to 74 do
+    check
+      (Printf.sprintf "store %d survived the race" i)
+      true
+      (Cache.find reader (Cache.key ~config_fp:"fp" ~text:(string_of_int i))
+      = Some (Json.Int i))
+  done;
+  check "no temp files left behind" true (no_temps dir)
+
+let touch path =
+  let oc = open_out path in
+  output_string oc "partial write";
+  close_out oc
+
+let test_cache_stale_temp_sweep () =
+  let dir = temp_dir () in
+  (* a demonstrably dead writer pid: a reaped child *)
+  let pid =
+    Unix.create_process "true" [| "true" |] Unix.stdin Unix.stdout Unix.stderr
+  in
+  ignore (Unix.waitpid [] pid);
+  let dead = Filename.concat dir (Printf.sprintf ".tmp-aaaa-%d" pid) in
+  let live = Filename.concat dir (Printf.sprintf ".tmp-bbbb-%d" (Unix.getpid ())) in
+  let junk = Filename.concat dir ".tmp-no-pid-suffix" in
+  touch dead;
+  touch live;
+  touch junk;
+  let _ = Cache.create ~dir () in
+  check "dead writer's temp swept" false (Sys.file_exists dead);
+  check "unparseable temp swept" false (Sys.file_exists junk);
+  check "live writer's temp preserved" true (Sys.file_exists live);
+  (* entries are untouched by the sweep *)
+  let c = Cache.create ~dir () in
+  let k = Cache.key ~config_fp:"fp" ~text:"x" in
+  Cache.store c k (Json.Int 1);
+  let c2 = Cache.create ~dir () in
+  check "entry survives a later attach" true (Cache.find c2 k = Some (Json.Int 1))
 
 (* --- Batch: determinism, fault isolation, caching --- *)
 
@@ -247,6 +377,12 @@ let () =
             test_pool_exception_isolation;
           Alcotest.test_case "map_timed reports timings" `Quick
             test_pool_map_timed;
+          Alcotest.test_case "try_submit enforces the admission bound" `Quick
+            test_pool_try_submit_bound;
+          Alcotest.test_case "escaped exception counted, worker survives"
+            `Quick test_pool_unexpected_exception_counter;
+          Alcotest.test_case "fatal exception kills and replaces the worker"
+            `Quick test_pool_fatal_exception_replaces_worker;
         ] );
       ( "cache",
         [
@@ -256,6 +392,10 @@ let () =
           Alcotest.test_case "disk tier reload" `Quick test_cache_disk_tier;
           Alcotest.test_case "corrupt disk entry is a miss" `Quick
             test_cache_corrupt_disk_entry;
+          Alcotest.test_case "concurrent create+store on one directory" `Quick
+            test_cache_concurrent_create_and_store;
+          Alcotest.test_case "stale temps swept, live temps preserved" `Quick
+            test_cache_stale_temp_sweep;
         ] );
       ( "batch",
         [
