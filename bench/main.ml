@@ -608,6 +608,11 @@ let compare_reports ?fail_on a_path b_path =
   let ratios_sched = ref [] and ratios_synth = ref [] in
   let ratios_gc = ref [] and ratios_lint = ref [] in
   let matched = ref 0 in
+  (* Cells dropped from the geomeans because one side is zero or absent
+     (stage didn't run, metric predates the telemetry).  Skipping is
+     correct — a 0 → x cell has no meaningful ratio and would make the
+     geomean degenerate — but it must be visible, not silent. *)
+  let skipped = ref 0 in
   let same (ra : Report.record) (rb : Report.record) =
     rb.Report.bench = ra.Report.bench && rb.Report.config = ra.Report.config
   in
@@ -621,6 +626,7 @@ let compare_reports ?fail_on a_path b_path =
         let ratio accessor store =
           let va = accessor ma and vb = accessor mb in
           if va > 0. && vb > 0. then store := (vb /. va) :: !store
+          else incr skipped
         in
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.cnot) ratios_cnot;
         ratio (fun (m : Report.metrics) -> float_of_int m.Report.total) ratios_total;
@@ -634,7 +640,10 @@ let compare_reports ?fail_on a_path b_path =
             store := (vb /. va) :: !store;
             Printf.sprintf "%.2fx" (vb /. va)
           end
-          else "-"
+          else begin
+            incr skipped;
+            "-"
+          end
         in
         let sched =
           stage_ratio ra.Report.trace.Report.schedule_s
@@ -697,6 +706,11 @@ let compare_reports ?fail_on a_path b_path =
     gm "synth" !ratios_synth;
     gm "gc" !ratios_gc;
     gm "lint" !ratios_lint;
+    if !skipped > 0 then
+      Printf.printf
+        "skipped %d zero/absent-valued cells across %d matched rows (not \
+         folded into geomeans)\n"
+        !skipped !matched;
     match fail_on with
     | None -> 0
     | Some pct ->
@@ -814,21 +828,247 @@ let usage () =
     "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint] [--jobs N] [--cache DIR]\n\
     \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
     \       main.exe fuzz [CASES] [SEED]\n\
-    \       main.exe serve [benchmark names...] [--clients N] [--rps R] [--duration S] [--jobs N] [--cache DIR]";
+    \       main.exe serve [benchmark names...] [--clients N] [--rps R] [--duration S] [--jobs N] [--cache DIR]\n\
+    \       main.exe history record --commit LABEL [--db FILE] [--suite ft|sc|all] [--jobs N]\n\
+    \       main.exe history import FILE.json --commit LABEL [--db FILE]\n\
+    \       main.exe history show [--db FILE] [--counter NAME] [--last N]\n\
+    \       main.exe history compare A B [--db FILE]   (commit labels or .json reports)\n\
+    \       main.exe history gate [--db FILE] [--candidate FILE.csv] [--against LABEL] [--suite ft|sc|all] [--threshold PCT]";
   exit 1
 
+(* ---------- history: per-commit deterministic counter db ---------- *)
+
+let rec extract_opt key acc = function
+  | k :: v :: rest when k = key -> Some v, List.rev_append acc rest
+  | [ k ] when k = key -> usage ()
+  | x :: rest -> extract_opt key (x :: acc) rest
+  | [] -> None, List.rev acc
+
+let rec extract_flag key acc = function
+  | k :: rest when k = key -> true, List.rev_append acc rest
+  | x :: rest -> extract_flag key (x :: acc) rest
+  | [] -> false, List.rev acc
+
+let default_db = "perf/history.csv"
+
+(* Fresh PH compiles of the table-2 suites (never cache-served: the
+   counters must measure work actually performed here).  Row identity
+   matches the table runners so imported BENCH_*.json rows and freshly
+   recorded rows land on the same (bench, config) keys. *)
+let history_records suite =
+  let ft () = List.map (fun b -> `Ft b) (Suite.ft ()) in
+  let sc () = List.map (fun b -> `Sc b) (Suite.sc ()) in
+  let items =
+    match suite with
+    | "ft" -> ft ()
+    | "sc" -> sc ()
+    | "all" -> ft () @ sc ()
+    | _ -> usage ()
+  in
+  Ph_pool.Pool.map ~jobs:!bench_jobs
+    (fun item ->
+      match item with
+      | `Ft (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        (cell ~bench:b.Suite.name ~config:"table2-ft/PH" prog
+           (ph_ft ~schedule:Config.Depth_oriented prog))
+          .c_record
+      | `Sc (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        (cell ~bench:b.Suite.name ~config:"table2-sc/PH" prog
+           (ph_sc sc_device prog))
+          .c_record)
+    items
+  |> List.map (function Stdlib.Ok r -> r | Stdlib.Error e -> raise e)
+
+let rows_of_records ~commit records =
+  List.concat_map (Report.perf_rows ~commit) records
+
+(* A comparison operand is either a commit label in the db or a path to
+   a bench --json report (rows synthesized under the file name). *)
+let history_operand db spec =
+  if Filename.check_suffix spec ".json" then
+    spec, rows_of_records ~commit:spec (load_records spec)
+  else spec, Ph_perf.Db.rows_for db spec
+
+let last_commit db =
+  match List.rev (Ph_perf.Db.commits db) with
+  | [] ->
+    prerr_endline "history: empty db";
+    exit 1
+  | c :: _ -> c
+
+let print_summaries summaries =
+  Printf.printf "%-26s %8s %6s %7s %7s %7s\n" "counter" "ratio" "rows"
+    "skipped" "only-A" "only-B";
+  let total_skipped = ref 0 in
+  List.iter
+    (fun (s : Ph_perf.History.summary) ->
+      total_skipped := !total_skipped + s.skipped;
+      Printf.printf "%-26s %8s %6d %7d %7d %7d\n" s.counter
+        (if Float.is_nan s.ratio then "-"
+         else Printf.sprintf "%.3fx" s.ratio)
+        (s.matched - s.skipped) s.skipped s.only_baseline s.only_candidate)
+    summaries;
+  if !total_skipped > 0 then
+    Printf.printf
+      "skipped %d zero-valued cells (not folded into per-counter geomeans)\n"
+      !total_skipped
+
+let history_entry args =
+  let db_path, args = extract_opt "--db" [] args in
+  let db_path = Option.value db_path ~default:default_db in
+  match args with
+  | "record" :: rest ->
+    let commit, rest = extract_opt "--commit" [] rest in
+    let suite, rest = extract_opt "--suite" [] rest in
+    if rest <> [] then usage ();
+    let commit = match commit with Some c -> c | None -> usage () in
+    let suite = Option.value suite ~default:"ft" in
+    let records = history_records suite in
+    let rows = rows_of_records ~commit records in
+    Ph_perf.Db.append db_path rows;
+    Printf.printf "history: appended %d rows (%d records, suite %s) for %s to %s\n"
+      (List.length rows) (List.length records) suite commit db_path;
+    0
+  | "import" :: file :: rest ->
+    let commit, rest = extract_opt "--commit" [] rest in
+    if rest <> [] then usage ();
+    let commit = match commit with Some c -> c | None -> usage () in
+    let rows = rows_of_records ~commit (load_records file) in
+    Ph_perf.Db.append db_path rows;
+    Printf.printf "history: imported %d rows from %s as %s into %s\n"
+      (List.length rows) file commit db_path;
+    0
+  | "show" :: rest ->
+    let counter, rest = extract_opt "--counter" [] rest in
+    let last, rest = extract_opt "--last" [] rest in
+    if rest <> [] then usage ();
+    let last =
+      match last with
+      | None -> 5
+      | Some s -> (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> usage ())
+    in
+    let db = Ph_perf.Db.load db_path in
+    if db = [] then begin
+      Printf.printf "history: %s is empty\n" db_path;
+      0
+    end
+    else begin
+      let commits = Ph_perf.Db.commits db in
+      Printf.printf "history: %s — %d rows, %d commits (%s)\n" db_path
+        (List.length db) (List.length commits)
+        (String.concat " " commits);
+      let names =
+        match counter with
+        | None -> Ph_perf.History.counter_names db
+        | Some c -> [ c ]
+      in
+      List.iter
+        (fun name ->
+          let traj = Ph_perf.History.trajectory db name in
+          let spark = Ph_perf.History.sparkline (List.map snd traj) in
+          (* last-N step deltas over commits where the counter exists *)
+          let present =
+            List.filter_map (fun (c, v) -> Option.map (fun v -> c, v) v) traj
+          in
+          let tail xs n =
+            let len = List.length xs in
+            if len <= n then xs else List.filteri (fun i _ -> i >= len - n) xs
+          in
+          let deltas =
+            match tail present (last + 1) with
+            | [] | [ _ ] -> "(no trajectory)"
+            | (_, v0) :: steps ->
+              let prev = ref v0 in
+              String.concat "  "
+                (List.map
+                   (fun (c, v) ->
+                     let d = 100. *. ((v /. !prev) -. 1.) in
+                     prev := v;
+                     Printf.sprintf "%s:%+.1f%%" c d)
+                   steps)
+          in
+          Printf.printf "%-26s [%s]  %s\n" name spark deltas)
+        names;
+      0
+    end
+  | "compare" :: rest ->
+    let rest, operands =
+      List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") rest
+    in
+    if rest <> [] then usage ();
+    (match operands with
+    | [ a; b ] ->
+      let db = Ph_perf.Db.load db_path in
+      let la, base = history_operand db a in
+      let lb, cand = history_operand db b in
+      Printf.printf "=== history compare: %s (A, %d rows) vs %s (B, %d rows) ===\n"
+        la (List.length base) lb (List.length cand);
+      print_summaries (Ph_perf.History.summarize ~baseline:base ~candidate:cand);
+      0
+    | _ -> usage ())
+  | "gate" :: rest ->
+    let threshold, rest = extract_opt "--threshold" [] rest in
+    let against, rest = extract_opt "--against" [] rest in
+    let candidate, rest = extract_opt "--candidate" [] rest in
+    let suite, rest = extract_opt "--suite" [] rest in
+    if rest <> [] then usage ();
+    let threshold =
+      match threshold with
+      | None -> 2.
+      | Some s ->
+        (match float_of_string_opt s with Some f when f >= 0. -> f | _ -> usage ())
+    in
+    let db = Ph_perf.Db.load db_path in
+    let base_label = match against with Some l -> l | None -> last_commit db in
+    let baseline = Ph_perf.Db.rows_for db base_label in
+    if baseline = [] then begin
+      Printf.eprintf "history gate: no rows for baseline %s in %s\n" base_label
+        db_path;
+      exit 1
+    end;
+    let cand_label, cand_rows =
+      match candidate with
+      | Some file ->
+        let cdb = Ph_perf.Db.load file in
+        let c = last_commit cdb in
+        Printf.sprintf "%s@%s" file c, Ph_perf.Db.rows_for cdb c
+      | None ->
+        let suite = Option.value suite ~default:"ft" in
+        let records = history_records suite in
+        "fresh-run", rows_of_records ~commit:"fresh-run" records
+    in
+    Printf.printf
+      "=== history gate: %s (baseline, %d rows) vs %s (candidate, %d rows), \
+       threshold +%.1f%% ===\n"
+      base_label (List.length baseline) cand_label (List.length cand_rows)
+      threshold;
+    let r =
+      Ph_perf.History.gate ~threshold ~baseline ~candidate:cand_rows
+    in
+    print_summaries r.Ph_perf.History.summaries;
+    List.iter
+      (fun (s : Ph_perf.History.summary) ->
+        Printf.printf
+          "note: ungated counter %s grew %.3fx (recorded, never gated)\n"
+          s.counter s.ratio)
+      r.Ph_perf.History.ungated_regressions;
+    (match r.Ph_perf.History.failures with
+    | [] ->
+      Printf.printf "history gate: OK (threshold +%.1f%%)\n" threshold;
+      0
+    | fs ->
+      Printf.printf "history gate: FAILED (threshold +%.1f%%): %s\n" threshold
+        (String.concat ", "
+           (List.map
+              (fun (s : Ph_perf.History.summary) ->
+                Printf.sprintf "%s %.3fx" s.counter s.ratio)
+              fs));
+      1)
+  | _ -> usage ()
+
 let () =
-  let rec extract_opt key acc = function
-    | k :: v :: rest when k = key -> Some v, List.rev_append acc rest
-    | [ k ] when k = key -> usage ()
-    | x :: rest -> extract_opt key (x :: acc) rest
-    | [] -> None, List.rev acc
-  in
-  let rec extract_flag key acc = function
-    | k :: rest when k = key -> true, List.rev_append acc rest
-    | x :: rest -> extract_flag key (x :: acc) rest
-    | [] -> false, List.rev acc
-  in
   let json_path, args = extract_opt "--json" [] (List.tl (Array.to_list Sys.argv)) in
   let lint_flag, args = extract_flag "--lint" [] args in
   lint_enabled := lint_flag;
@@ -854,6 +1094,7 @@ let () =
   (match args with
   | "compare" :: a :: b :: _ -> exit (compare_reports ?fail_on a b)
   | "compare" :: _ -> usage ()
+  | "history" :: rest -> exit (history_entry rest)
   | "fuzz" :: rest -> fuzz_entry rest
   | "serve" :: rest ->
     let num key default rest =

@@ -50,6 +50,20 @@ let lint_run acc check =
   end
 
 let compile config prog =
+  (* Counter hygiene before any allocation baseline is sampled: the
+     domain-local counter array must already exist (its one-time DLS
+     setup would otherwise be charged to the first compile each domain
+     runs, breaking --jobs 1 vs --jobs N byte-identity), and the
+     coupling map's lazy all-pairs BFS must be forced for the same
+     reason — shared device values are warmed by whichever compile gets
+     there first. *)
+  Ph_perf.Counter.touch ();
+  (match config.Config.backend with
+  | Config.Sc { coupling; _ } ->
+    if Coupling.n_qubits coupling > 0 then
+      ignore (Coupling.distance coupling 0 0)
+  | Config.Ft | Config.Ion_trap -> ());
+  let perf0 = Ph_perf.Counter.snapshot () in
   let t0 = Unix.gettimeofday () in
   let acc =
     {
@@ -173,6 +187,22 @@ let compile config prog =
   let schedule_s, synthesis_s, swap_decompose_s, peephole_s = timings in
   let synthesis_gc, swap_gc, peephole_gc = gcs in
   let seconds = Unix.gettimeofday () -. t0 in
+  let perf1 = Ph_perf.Counter.snapshot () in
+  (* Minor-heap words are an exact count of the calling domain's
+     allocation, so the [alloc_*] entries are reproducible for a fixed
+     compiler binary; they still shift across compiler versions, which
+     is why [Counter.gated] excludes them from the regression gate. *)
+  let alloc (g : Report.gc_delta) = int_of_float g.Report.minor_words in
+  let perf =
+    Ph_perf.Counter.compile_assoc ~before:perf0 ~after:perf1
+    @ [
+        "alloc_schedule_words", alloc schedule_gc;
+        "alloc_synthesis_words", alloc synthesis_gc;
+        "alloc_swap_words", alloc swap_gc;
+        "alloc_peephole_words", alloc peephole_gc;
+        "alloc_lint_words", alloc acc.gc;
+      ]
+  in
   {
     circuit;
     rotations;
@@ -196,6 +226,7 @@ let compile config prog =
             "peephole", peephole_gc;
             "lint", acc.gc;
           ];
+        perf;
       };
   }
 

@@ -11,6 +11,9 @@
     - {!Lint} — the per-stage IR verifier ([Ph_lint]): structured
       diagnostics and one checker per pipeline stage, run between every
       stage of {!Compiler.compile} when [Config.lint] is enabled.
+    - {!Perf} — deterministic work counters ([Ph_perf]): per-compile
+      snapshots carried in every {!Report.record} plus the per-commit
+      counter history db behind [bench history].
 
     The underlying subsystem libraries ([Ph_pauli], [Ph_pauli_ir],
     [Ph_schedule], [Ph_synthesis], [Ph_hardware], [Ph_baselines],
@@ -22,3 +25,4 @@ module Lint = Ph_lint
 module Report = Report
 module Compiler = Compiler
 module Pipelines = Pipelines
+module Perf = Ph_perf

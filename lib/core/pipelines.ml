@@ -44,6 +44,7 @@ let baseline_trace ?(synthesis_s = 0.) ?(swap_decompose_s = 0.) ?(peephole_s = 0
     lint_s = 0.;
     lint = [];
     gc = [];
+    perf = [];
     counters =
       {
         Report.empty_counters with

@@ -99,6 +99,9 @@ type trace = {
   counters : pass_counters;
   lint : Ph_lint.Diag.t list;
   gc : (string * gc_delta) list;
+  perf : (string * int) list;
+      (* deterministic work counters ([Ph_perf.Counter] compile-scope
+         deltas plus per-stage [alloc_*_words] ints), in fixed order *)
 }
 
 let empty_counters =
@@ -121,6 +124,7 @@ let empty_trace =
     counters = empty_counters;
     lint = [];
     gc = [];
+    perf = [];
   }
 
 let trace_gc_words t =
@@ -174,6 +178,7 @@ let trace_to_json (t : trace) =
       "lint_warnings", Json.Int (List.length (Ph_lint.Diag.warnings t.lint));
       "lint", Json.List (List.map Ph_lint.Diag.to_json t.lint);
       "gc", Json.Obj (List.map (fun (s, g) -> s, gc_delta_to_json g) t.gc);
+      "perf", Json.Obj (List.map (fun (k, v) -> k, Json.Int v) t.perf);
     ]
 
 let record_to_json (r : record) =
@@ -227,6 +232,13 @@ let trace_of_json j =
         List.map (fun (s, g) -> s, gc_delta_of_json g) fields
       | Some _ -> raise (Json.Parse_error "trace gc: expected object")
       | None -> []);
+    (* absent from pre-perf reports (PR ≤ 6) *)
+    perf =
+      (match Json.member "perf" j with
+      | Some (Json.Obj fields) ->
+        List.map (fun (k, v) -> k, Json.to_int v) fields
+      | Some _ -> raise (Json.Parse_error "trace perf: expected object")
+      | None -> []);
   }
 
 let record_of_json j =
@@ -251,7 +263,10 @@ let record_of_json j =
 
 (* Everything wall-clock- or domain-dependent zeroed: what remains is a
    pure function of (program, config), so `phc batch --jobs N` reports
-   can be byte-diffed against `--jobs 1` and against cached reruns. *)
+   can be byte-diffed against `--jobs 1` and against cached reruns.
+   [trace.perf] survives normalization on purpose — the counters are
+   deterministic, so the existing byte-identity CI checks double as a
+   determinism proof for them. *)
 let normalize_record (r : record) =
   {
     r with
@@ -267,6 +282,31 @@ let normalize_record (r : record) =
         gc = [];
       };
   }
+
+(* ---------- history-db projection ---------- *)
+
+(* One normalized [Ph_perf.Db] row per deterministic quantity of a
+   record: the circuit metrics, the per-pass counters (minus
+   [sched_window], which echoes configuration rather than measuring
+   work) and the [trace.perf] snapshot.  [seconds] and stage timings
+   never become rows. *)
+let perf_rows ~commit (r : record) =
+  let mk counter value =
+    { Ph_perf.Db.commit; bench = r.bench; config = r.config; counter; value }
+  in
+  let c = r.trace.counters in
+  [
+    mk "cnot" r.metrics.cnot;
+    mk "single" r.metrics.single;
+    mk "total" r.metrics.total;
+    mk "depth" r.metrics.depth;
+    mk "sched_layers" c.sched_layers;
+    mk "sched_padded" c.sched_padded;
+    mk "sc_swaps" c.sc_swaps;
+    mk "peephole_removed" c.peephole_removed;
+    mk "peephole_rounds" c.peephole_rounds;
+  ]
+  @ List.map (fun (k, v) -> mk k v) r.trace.perf
 
 (* ---------- batch aggregation ---------- *)
 

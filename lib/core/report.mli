@@ -91,6 +91,13 @@ type trace = {
           ([schedule]/[synthesis]/[swap_decompose]/[peephole]/[lint]);
           [[]] in records predating the telemetry (PR ≤ 4) and in
           baseline-stage traces *)
+  perf : (string * int) list;
+      (** deterministic work counters: the [Ph_perf.Counter]
+          compile-scope deltas sampled by [Compiler.compile] plus the
+          per-stage [alloc_*_words] integers, in fixed declaration
+          order.  Bit-identical across runs, [--jobs] settings and
+          machines; [[]] in records predating the subsystem (PR ≤ 6)
+          and in baseline-stage traces *)
 }
 
 val empty_counters : pass_counters
@@ -125,8 +132,16 @@ val record_of_json : Json.t -> record
     per-stage timings, allocation deltas), leaving only data that is a
     pure function of (program, config).  The batch service reports
     normalized records by default so [--jobs N] output is byte-identical
-    to [--jobs 1] and to a warm-cache rerun. *)
+    to [--jobs 1] and to a warm-cache rerun.  [trace.perf] is kept:
+    the counters are deterministic, so byte-identity checks over
+    normalized records also prove counter determinism. *)
 val normalize_record : record -> record
+
+(** One {!Ph_perf.Db} row per deterministic quantity of the record —
+    circuit metrics ([cnot]/[single]/[total]/[depth]), the per-pass
+    counters except the configuration echo [sched_window], and every
+    [trace.perf] entry.  [seconds] and stage timings are never rows. *)
+val perf_rows : commit:string -> record -> Ph_perf.Db.row list
 
 (** {1 Batch aggregation}
 

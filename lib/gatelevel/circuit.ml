@@ -10,6 +10,7 @@ module Builder = struct
   let n_qubits b = b.n
 
   let add b g =
+    Ph_perf.Counter.bump Ph_perf.Counter.circuit_gates_built;
     if b.len = Array.length b.buf then begin
       let buf = Array.make (2 * b.len) (Gate.H 0) in
       Array.blit b.buf 0 buf 0 b.len;

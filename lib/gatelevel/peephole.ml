@@ -24,12 +24,14 @@ let merge a b =
    counted against [window], the pass degenerated to O(m²).  The window
    semantics is unchanged: only visited live slots count as steps. *)
 let cancel_once ?(window = 400) circuit =
+  Ph_perf.Counter.bump Ph_perf.Counter.peephole_scan_rounds;
   let gs = Circuit.gates circuit in
   let m = Array.length gs in
   let slots = Array.make m None in
   let prev = Array.make m (-1) in
   let last = ref (-1) in
   let removed = ref 0 in
+  let probes = ref 0 in
   (* Drop live slot [j]; [succ] is the live slot the walk visited just
      after [j] (-1 when [j] is the chain head). *)
   let unlink ~succ j =
@@ -81,9 +83,11 @@ let cancel_once ?(window = 400) circuit =
         succ := jj;
         j := prev.(jj)
       done;
+      probes := !probes + !steps;
       if not !placed then place i g
     end
   done;
+  Ph_perf.Counter.add Ph_perf.Counter.peephole_probes !probes;
   let b = Circuit.Builder.create (Circuit.n_qubits circuit) in
   Array.iter (function Some g -> Circuit.Builder.add b g | None -> ()) slots;
   Circuit.Builder.to_circuit b, !removed

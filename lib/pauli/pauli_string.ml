@@ -115,8 +115,11 @@ let check_sizes fn p q =
 (* pq = qp iff the symplectic product Σ x_p·z_q + z_p·x_q is even. *)
 let commutes p q =
   check_sizes "commutes" p q;
+  let words = Array.length p.x in
+  Ph_perf.Counter.kernel_op Ph_perf.Counter.pauli_commutes ~words
+    ~pops:(2 * words);
   let anti = ref 0 in
-  for w = 0 to Array.length p.x - 1 do
+  for w = 0 to words - 1 do
     anti := !anti lxor Bits.popcount (p.x.(w) land q.z.(w))
                  lxor Bits.popcount (p.z.(w) land q.x.(w))
   done;
@@ -129,6 +132,7 @@ let commutes p q =
 let mul p q =
   check_sizes "mul" p q;
   let words = Array.length p.x in
+  Ph_perf.Counter.kernel_op Ph_perf.Counter.pauli_mul ~words ~pops:(4 * words);
   let rx = Array.make words 0 and rz = Array.make words 0 in
   let phase = ref 0 in
   for w = 0 to words - 1 do
@@ -178,8 +182,10 @@ let same_op_word p q w =
 
 let overlap p q =
   check_sizes "overlap" p q;
+  let words = Array.length p.x in
+  Ph_perf.Counter.kernel_op Ph_perf.Counter.pauli_overlap ~words ~pops:words;
   let c = ref 0 in
-  for w = 0 to Array.length p.x - 1 do
+  for w = 0 to words - 1 do
     c := !c + Bits.popcount (same_op_word p q w)
   done;
   !c

@@ -1,0 +1,99 @@
+(* Per-domain counter arrays.  One compile runs entirely on a single
+   domain in every driver (inline, pool worker, serve worker), so a
+   before/after diff of the domain-local array isolates exactly one
+   compile's work without atomics.  Arrays register themselves in a
+   global list at creation so [totals_assoc] can sum across domains;
+   registered arrays outlive their domain, keeping totals monotone
+   after pool shutdown or worker replacement. *)
+
+type id = int
+
+let pauli_commutes = 0
+let pauli_overlap = 1
+let pauli_mul = 2
+let pauli_words = 3
+let pauli_popcounts = 4
+let sched_leader_scans = 5
+let sched_candidates = 6
+let sched_padding_probes = 7
+let sched_window_truncations = 8
+let circuit_gates_built = 9
+let peephole_probes = 10
+let peephole_scan_rounds = 11
+let cache_probes = 12
+let cache_hits_mem = 13
+let cache_hits_disk = 14
+let cache_stores = 15
+
+let n_counters = 16
+
+(* The [cache_*] group sits at the tail; everything below this index is
+   compile-scoped (deterministic per compile). *)
+let compile_scoped = cache_probes
+
+let names =
+  [|
+    "pauli_commutes";
+    "pauli_overlap";
+    "pauli_mul";
+    "pauli_words";
+    "pauli_popcounts";
+    "sched_leader_scans";
+    "sched_candidates";
+    "sched_padding_probes";
+    "sched_window_truncations";
+    "circuit_gates_built";
+    "peephole_probes";
+    "peephole_scan_rounds";
+    "cache_probes";
+    "cache_hits_mem";
+    "cache_hits_disk";
+    "cache_stores";
+  |]
+
+let registry : int array list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let a = Array.make n_counters 0 in
+      Mutex.lock registry_mutex;
+      registry := a :: !registry;
+      Mutex.unlock registry_mutex;
+      a)
+
+let[@inline] counters () = Domain.DLS.get key
+
+let touch () = ignore (counters ())
+
+let[@inline] add id n =
+  let a = counters () in
+  Array.unsafe_set a id (Array.unsafe_get a id + n)
+
+let[@inline] bump id = add id 1
+
+let[@inline] kernel_op id ~words ~pops =
+  let a = counters () in
+  Array.unsafe_set a id (Array.unsafe_get a id + 1);
+  Array.unsafe_set a pauli_words (Array.unsafe_get a pauli_words + words);
+  Array.unsafe_set a pauli_popcounts (Array.unsafe_get a pauli_popcounts + pops)
+
+type snapshot = int array
+
+let snapshot () = Array.copy (counters ())
+
+let compile_assoc ~before ~after =
+  List.init compile_scoped (fun i -> (names.(i), after.(i) - before.(i)))
+
+let totals_assoc () =
+  Mutex.lock registry_mutex;
+  let arrays = !registry in
+  Mutex.unlock registry_mutex;
+  let t = Array.make n_counters 0 in
+  List.iter (fun a -> Array.iteri (fun i v -> t.(i) <- t.(i) + v) a) arrays;
+  Array.to_list (Array.mapi (fun i v -> (names.(i), v)) t)
+
+let gated name =
+  not
+    (String.starts_with ~prefix:"alloc_" name
+    || String.starts_with ~prefix:"cache_" name)

@@ -1,0 +1,120 @@
+type row = {
+  commit : string;
+  bench : string;
+  config : string;
+  counter : string;
+  value : int;
+}
+
+type t = row list
+
+exception Malformed of string
+
+let header = "commit,bench,config,counter,value"
+
+let check_field f =
+  String.iter
+    (fun c ->
+      if c = ',' || c = '\n' || c = '\r' then
+        raise (Malformed (Printf.sprintf "field contains separator: %S" f)))
+    f;
+  f
+
+let row_to_line r =
+  Printf.sprintf "%s,%s,%s,%s,%d" (check_field r.commit) (check_field r.bench)
+    (check_field r.config) (check_field r.counter) r.value
+
+let to_string rows =
+  let b = Buffer.create (64 * (List.length rows + 1)) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (row_to_line r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let row_of_line line =
+  match String.split_on_char ',' line with
+  | [ commit; bench; config; counter; value ] -> (
+    match int_of_string_opt (String.trim value) with
+    | Some value -> { commit; bench; config; counter; value }
+    | None -> raise (Malformed (Printf.sprintf "bad value in line: %S" line)))
+  | _ -> raise (Malformed (Printf.sprintf "expected 5 fields: %S" line))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  List.filter_map
+    (fun line ->
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if String.trim line = "" || line = header then None
+      else Some (row_of_line line))
+    lines
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+  end
+
+let save path rows =
+  let oc = open_out_bin path in
+  output_string oc (to_string rows);
+  close_out oc
+
+let append path rows =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "" && not (Sys.file_exists dir) then
+    Sys.mkdir dir 0o755;
+  let fresh = not (Sys.file_exists path) in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  if fresh then begin
+    output_string oc header;
+    output_char oc '\n'
+  end;
+  List.iter
+    (fun r ->
+      output_string oc (row_to_line r);
+      output_char oc '\n')
+    rows;
+  close_out oc
+
+let commits rows =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun r ->
+      if Hashtbl.mem seen r.commit then None
+      else begin
+        Hashtbl.add seen r.commit ();
+        Some r.commit
+      end)
+    rows
+
+let rows_for rows commit = List.filter (fun r -> r.commit = commit) rows
+
+let key r = (r.commit, r.bench, r.config, r.counter)
+
+let merge a b =
+  let override = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace override (key r) r.value) b;
+  let a_keys = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace a_keys (key r) ()) a;
+  let a' =
+    List.map
+      (fun r ->
+        match Hashtbl.find_opt override (key r) with
+        | Some value -> { r with value }
+        | None -> r)
+      a
+  in
+  let b_only = List.filter (fun r -> not (Hashtbl.mem a_keys (key r))) b in
+  a' @ b_only

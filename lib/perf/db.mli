@@ -1,0 +1,56 @@
+(** Append-only per-commit counter history.
+
+    One normalized row per (commit, bench, config, counter), stored as
+    plain CSV ([perf/history.csv], committed to the repository) so
+    diffs review like code and the file survives any tooling. *)
+
+type row = {
+  commit : string;  (** commit label, e.g. a short hash or ["pr4"] *)
+  bench : string;  (** bench id, e.g. ["uccsd-8"] *)
+  config : string;  (** config label, e.g. ["table2-ft/PH"] *)
+  counter : string;  (** counter or metric name, e.g. ["pauli_mul"] *)
+  value : int;
+}
+
+type t = row list
+(** Rows in file order (append order). *)
+
+exception Malformed of string
+(** Raised on a syntactically invalid CSV line or a field containing a
+    separator/newline. *)
+
+val header : string
+(** The fixed CSV header line, ["commit,bench,config,counter,value"]. *)
+
+val row_to_line : row -> string
+(** One CSV line, no trailing newline.  Raises [Malformed] if a field
+    contains [','], ['\n'] or ['\r']. *)
+
+val to_string : t -> string
+(** Header plus one line per row, each newline-terminated. *)
+
+val of_string : string -> t
+(** Inverse of [to_string]; tolerates a missing header and blank
+    lines.  Raises [Malformed] on anything else. *)
+
+val load : string -> t
+(** Read a CSV file; a missing file is an empty db. *)
+
+val save : string -> t -> unit
+(** Write header + rows, replacing the file. *)
+
+val append : string -> row list -> unit
+(** Append rows to a CSV file, creating it (with header, and any
+    missing parent directory) first if needed. *)
+
+val commits : t -> string list
+(** Distinct commit labels in order of first appearance. *)
+
+val rows_for : t -> string -> row list
+(** Rows for one commit label, in file order. *)
+
+val merge : t -> t -> t
+(** [merge a b]: all of [a]'s rows in order — with any row whose
+    (commit, bench, config, counter) key also appears in [b] replaced
+    by [b]'s value — followed by [b]'s rows for keys not in [a], in
+    [b]'s order.  Later db wins on duplicates; order stays stable. *)

@@ -1,0 +1,151 @@
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = List.length xs in
+    let sum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (sum /. float_of_int n)
+
+let spark_chars = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let sparkline points =
+  let present = List.filter_map Fun.id points in
+  match present with
+  | [] -> String.concat "" (List.map (fun _ -> "?") points)
+  | _ ->
+    let lo = List.fold_left min infinity present in
+    let hi = List.fold_left max neg_infinity present in
+    let levels = Array.length spark_chars in
+    let b = Buffer.create (List.length points) in
+    List.iter
+      (fun p ->
+        match p with
+        | None -> Buffer.add_char b '?'
+        | Some v ->
+          let i =
+            if hi <= lo then levels / 2
+            else
+              let f = (v -. lo) /. (hi -. lo) in
+              min (levels - 1) (int_of_float (f *. float_of_int levels))
+          in
+          Buffer.add_char b spark_chars.(i))
+      points;
+    Buffer.contents b
+
+type summary = {
+  counter : string;
+  matched : int;
+  skipped : int;
+  only_baseline : int;
+  only_candidate : int;
+  ratio : float;
+}
+
+(* Distinct counter names, candidate order first so freshly added
+   counters lead the report, then baseline-only stragglers. *)
+let ordered_counters ~baseline ~candidate =
+  let seen = Hashtbl.create 32 in
+  let take rows =
+    List.filter_map
+      (fun (r : Db.row) ->
+        if Hashtbl.mem seen r.counter then None
+        else begin
+          Hashtbl.add seen r.counter ();
+          Some r.counter
+        end)
+      rows
+  in
+  let c = take candidate in
+  c @ take baseline
+
+let summarize ~baseline ~candidate =
+  let index rows =
+    let tbl = Hashtbl.create 256 in
+    List.iter
+      (fun (r : Db.row) ->
+        Hashtbl.replace tbl (r.bench, r.config, r.counter) r.value)
+      rows;
+    tbl
+  in
+  let base = index baseline and cand = index candidate in
+  List.map
+    (fun counter ->
+      let matched = ref 0
+      and skipped = ref 0
+      and only_b = ref 0
+      and only_c = ref 0
+      and ratios = ref [] in
+      (* Walk the row lists (not the hashtables) so pairing and the
+         geomean fold happen in stable file order. *)
+      List.iter
+        (fun (r : Db.row) ->
+          if r.counter = counter then
+            let k = (r.bench, r.config, r.counter) in
+            match Hashtbl.find_opt cand k with
+            | None -> incr only_b
+            | Some cv ->
+              incr matched;
+              if r.value > 0 && cv > 0 then
+                ratios := (float_of_int cv /. float_of_int r.value) :: !ratios
+              else incr skipped)
+        baseline;
+      List.iter
+        (fun (r : Db.row) ->
+          if
+            r.counter = counter
+            && not (Hashtbl.mem base (r.bench, r.config, r.counter))
+          then incr only_c)
+        candidate;
+      ratios := List.rev !ratios;
+      {
+        counter;
+        matched = !matched;
+        skipped = !skipped;
+        only_baseline = !only_b;
+        only_candidate = !only_c;
+        ratio = geomean !ratios;
+      })
+    (ordered_counters ~baseline ~candidate)
+
+type gate_result = {
+  summaries : summary list;
+  failures : summary list;
+  ungated_regressions : summary list;
+}
+
+let gate ~threshold ~baseline ~candidate =
+  let summaries = summarize ~baseline ~candidate in
+  let bound = 1. +. (threshold /. 100.) in
+  let over s =
+    s.matched - s.skipped > 0 && Float.is_finite s.ratio && s.ratio > bound
+  in
+  let failures = List.filter (fun s -> over s && Counter.gated s.counter) summaries in
+  let ungated_regressions =
+    List.filter (fun s -> over s && not (Counter.gated s.counter)) summaries
+  in
+  { summaries; failures; ungated_regressions }
+
+let counter_names rows =
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun (r : Db.row) ->
+      if Hashtbl.mem seen r.counter then None
+      else begin
+        Hashtbl.add seen r.counter ();
+        Some r.counter
+      end)
+    rows
+
+let trajectory db counter =
+  List.map
+    (fun commit ->
+      let values =
+        List.filter_map
+          (fun (r : Db.row) ->
+            if r.commit = commit && r.counter = counter && r.value > 0 then
+              Some (float_of_int r.value)
+            else None)
+          db
+      in
+      (commit, match values with [] -> None | _ -> Some (geomean values)))
+    (Db.commits db)

@@ -1,0 +1,47 @@
+(** Analysis over the counter history db: per-counter trajectories
+    across commits, pairwise comparison, and the CI regression gate. *)
+
+val geomean : float list -> float
+(** Geometric mean; [nan] on an empty list. *)
+
+val sparkline : float option list -> string
+(** One ASCII character per point, [' .:-=+*#@'] scaled min..max over
+    the present points; ['?'] for absent points.  A flat series renders
+    at mid scale. *)
+
+type summary = {
+  counter : string;
+  matched : int;  (** (bench, config) pairs present on both sides *)
+  skipped : int;  (** matched pairs dropped for a zero/negative value *)
+  only_baseline : int;  (** rows with no candidate counterpart *)
+  only_candidate : int;  (** rows with no baseline counterpart *)
+  ratio : float;  (** geomean of candidate/baseline; [nan] if no pairs *)
+}
+
+val summarize : baseline:Db.row list -> candidate:Db.row list -> summary list
+(** Per-counter comparison of two row sets.  Rows pair up on
+    (bench, config, counter); zero-valued sides are counted in
+    [skipped], never folded into the geomean.  Counters appear in
+    candidate first-appearance order, then baseline-only ones. *)
+
+type gate_result = {
+  summaries : summary list;
+  failures : summary list;
+      (** gated counters whose ratio exceeds the threshold *)
+  ungated_regressions : summary list;
+      (** ungated counters over threshold — reported, never failing *)
+}
+
+val gate :
+  threshold:float -> baseline:Db.row list -> candidate:Db.row list -> gate_result
+(** [gate ~threshold] fails a gated counter (see [Counter.gated]) whose
+    candidate/baseline geomean ratio exceeds [1 + threshold/100].
+    Counters with no matched nonzero pairs never fail. *)
+
+val trajectory : Db.t -> string -> (string * float option) list
+(** [trajectory db counter]: for each commit (first-appearance order),
+    the geomean of that counter's positive values across (bench,
+    config) rows, or [None] when the commit has no such rows. *)
+
+val counter_names : Db.t -> string list
+(** Distinct counter names in first-appearance order. *)

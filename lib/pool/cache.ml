@@ -128,8 +128,10 @@ let disk_find t key =
     | text -> ( try Some (Json.parse text) with Json.Parse_error _ -> None))
 
 let find t key =
+  Ph_perf.Counter.bump Ph_perf.Counter.cache_probes;
   match locked t (fun () -> Hashtbl.find_opt t.table key) with
   | Some payload ->
+    Ph_perf.Counter.bump Ph_perf.Counter.cache_hits_mem;
     locked t (fun () -> t.c <- { t.c with hits_mem = t.c.hits_mem + 1 });
     Some payload
   | None -> (
@@ -137,6 +139,7 @@ let find t key =
        both land on the same immutable file contents. *)
     match disk_find t key with
     | Some payload ->
+      Ph_perf.Counter.bump Ph_perf.Counter.cache_hits_disk;
       locked t (fun () ->
           insert_mem t key payload;
           t.c <- { t.c with hits_disk = t.c.hits_disk + 1 });
@@ -169,6 +172,7 @@ let disk_store dir key payload =
     raise e
 
 let store t key payload =
+  Ph_perf.Counter.bump Ph_perf.Counter.cache_stores;
   locked t (fun () ->
       insert_mem t key payload;
       t.c <- { t.c with stores = t.c.stores + 1 });

@@ -44,7 +44,8 @@ let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
     advance ()
   in
   (* Fold over alive indices starting at [first_alive], visiting at most
-     [window] live blocks. *)
+     [window] live blocks.  Returns the number visited so callers can
+     charge the work to the right perf counter. *)
   let scan_alive f =
     let visited = ref 0 in
     let i = ref !first_alive in
@@ -54,7 +55,10 @@ let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
         f !i
       end;
       incr i
-    done
+    done;
+    if !visited >= window && !i < m then
+      Ph_perf.Counter.bump Ph_perf.Counter.sched_window_truncations;
+    !visited
   in
   let layers = ref [] in
   (* Tail strings of the previous layer's blocks, kept alongside so the
@@ -74,16 +78,20 @@ let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
       | [] -> !first_alive
       | tails ->
         let best = ref !first_alive and best_ov = ref (-1) in
-        scan_alive (fun i ->
-            let ov =
-              List.fold_left
-                (fun acc t -> max acc (Pauli_string.overlap t head.(i)))
-                0 tails
-            in
-            if ov > !best_ov then begin
-              best_ov := ov;
-              best := i
-            end);
+        Ph_perf.Counter.bump Ph_perf.Counter.sched_leader_scans;
+        let visited =
+          scan_alive (fun i ->
+              let ov =
+                List.fold_left
+                  (fun acc t -> max acc (Pauli_string.overlap t head.(i)))
+                  0 tails
+              in
+              if ov > !best_ov then begin
+                best_ov := ov;
+                best := i
+              end)
+        in
+        Ph_perf.Counter.add Ph_perf.Counter.sched_candidates visited;
         !best
     in
     let leader = blocks.(leader_idx) in
@@ -94,18 +102,21 @@ let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
     if padding && !n_alive > 0 then begin
       let budget = depth.(leader_idx) in
       let touched = ref [] in
-      scan_alive (fun i ->
-          let qs = active.(i) in
-          let current = Qubit_set.max_over qs load in
-          if current + depth.(i) <= budget && Qubit_set.disjoint occupied qs
-          then begin
-            Qubit_set.set_over qs load (current + depth.(i));
-            touched := qs :: !touched;
-            chosen := blocks.(i) :: !chosen;
-            tails := tail.(i) :: !tails;
-            incr n_padded;
-            take i
-          end);
+      let visited =
+        scan_alive (fun i ->
+            let qs = active.(i) in
+            let current = Qubit_set.max_over qs load in
+            if current + depth.(i) <= budget && Qubit_set.disjoint occupied qs
+            then begin
+              Qubit_set.set_over qs load (current + depth.(i));
+              touched := qs :: !touched;
+              chosen := blocks.(i) :: !chosen;
+              tails := tail.(i) :: !tails;
+              incr n_padded;
+              take i
+            end)
+      in
+      Ph_perf.Counter.add Ph_perf.Counter.sched_padding_probes visited;
       List.iter (fun qs -> Qubit_set.set_over qs load 0) !touched
     end;
     last_tails := !tails;

@@ -42,6 +42,10 @@ let schedule ?rank ?(window = Depth_oriented.default_window) prog =
       end;
       incr i
     done;
+    Ph_perf.Counter.bump Ph_perf.Counter.sched_leader_scans;
+    Ph_perf.Counter.add Ph_perf.Counter.sched_candidates !visited;
+    if !visited >= window && !i < m then
+      Ph_perf.Counter.bump Ph_perf.Counter.sched_window_truncations;
     let chosen = !best in
     alive.(chosen) <- false;
     advance ();

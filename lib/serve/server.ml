@@ -327,6 +327,14 @@ let stats_json t =
                 "peephole_s", Json.Float tot.agg_peephole_s;
                 "lint_s", Json.Float tot.agg_lint_s;
               ] );
+          (* process-wide work-counter totals summed over all domains
+             (worker pool + reader threads); monotone but racy reads,
+             for observability rather than gating *)
+          ( "perf",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> k, Json.Int v)
+                 (Ph_perf.Counter.totals_assoc ())) );
         ])
 
 let stats_summary t =
