@@ -159,22 +159,76 @@ let cell_checked c name =
    table and the report are identical whatever --jobs was.  Within one
    table every cell has a distinct cache key, so cold-cache counter
    totals are deterministic too.  A worker exception re-raises here:
-   bench inputs are trusted, fault isolation is `phc batch`'s job. *)
+   bench inputs are trusted, fault isolation is `phc batch`'s job.
+   Returns the merged cells (suite order) so callers can print
+   table-level aggregates such as the gap geomeans. *)
 let pooled items f =
-  List.iter
+  List.concat_map
     (function
       | Stdlib.Ok (cells, rows) ->
         List.iter emit_cell cells;
-        List.iter (fun (name, cols) -> row name cols) rows
+        List.iter (fun (name, cols) -> row name cols) rows;
+        cells
       | Stdlib.Error e -> raise e)
     (Ph_pool.Pool.map ~jobs:!bench_jobs f items)
+
+(* ---------- static-analysis attachment (post-hoc) ---------- *)
+
+(* Attach the analyzer's bounds/gap summary to a record after the fact:
+   a pure function of (program, achieved metrics), so it applies equally
+   to fresh compiles and cache hits, runs outside any perf window (the
+   compile's counter deltas stay untouched), and is identical whatever
+   --jobs was. *)
+let analyzed_record prog (r : Report.record) =
+  let m = r.Report.metrics in
+  let s =
+    Analysis.Gap.summarize ~cnot:m.Report.cnot ~single:m.Report.single
+      ~total:m.Report.total ~depth:m.Report.depth
+      (Analysis.Bounds.of_program prog)
+  in
+  { r with Report.trace = { r.Report.trace with Report.analysis = Some s } }
+
+let analyzed prog c = { c with c_record = analyzed_record prog c.c_record }
+
+let gap_col c =
+  match c.c_record.Report.trace.Report.analysis with
+  | Some { Analysis.Gap.gap_total = Some g; _ } -> Printf.sprintf "%.2fx" g
+  | Some _ | None -> "n/a"
+
+(* Per-metric geomeans of the achieved/floor ratios over every analyzed
+   cell of a table (cells without a defined ratio are skipped, same rule
+   as `compare`). *)
+let gap_geomeans cells =
+  let collect f =
+    List.filter_map
+      (fun c -> Option.bind c.c_record.Report.trace.Report.analysis f)
+      cells
+  in
+  let metrics =
+    [
+      "depth", collect (fun s -> s.Analysis.Gap.gap_depth);
+      "cnot", collect (fun s -> s.Analysis.Gap.gap_cnot);
+      "single", collect (fun s -> s.Analysis.Gap.gap_single);
+      "total", collect (fun s -> s.Analysis.Gap.gap_total);
+    ]
+  in
+  if List.exists (fun (_, rs) -> rs <> []) metrics then
+    Printf.printf "gap geomeans (achieved/floor): %s\n"
+      (String.concat "  "
+         (List.map
+            (fun (name, rs) ->
+              if rs = [] then Printf.sprintf "%s n/a" name
+              else
+                Printf.sprintf "%s %.2fx/%d" name (Report.geomean rs)
+                  (List.length rs))
+            metrics))
 
 (* ---------- Table 1: benchmark information ---------- *)
 
 let table1 filters =
   header "Table 1: benchmark information (naive lowering, no optimization)"
     [ "qubits"; "pauli#"; "cnot#"; "single#" ];
-  pooled
+  ignore @@ pooled
     (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
@@ -195,47 +249,51 @@ let table1 filters =
 
 let table2_sc filters =
   header "Table 2 (SC backend, Manhattan-65): PH vs TK, each + generic stage"
-    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  pooled
+    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "gap" ];
+  gap_geomeans @@ pooled
     (List.filter (wanted filters) (Suite.sc ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
       let ph =
-        cached ~bench:b.Suite.name ~config:"table2-sc/PH"
-          ~fp:(fp_ph_sc sc_device) prog (fun () -> ph_sc sc_device prog)
+        analyzed prog
+          (cached ~bench:b.Suite.name ~config:"table2-sc/PH"
+             ~fp:(fp_ph_sc sc_device) prog (fun () -> ph_sc sc_device prog))
       in
       let tk =
-        cached ~bench:b.Suite.name ~config:"table2-sc/TK"
-          ~fp:(fp_baseline ~device:sc_device "tk") prog (fun () ->
-            Pipelines.tk_sc sc_device prog)
+        analyzed prog
+          (cached ~bench:b.Suite.name ~config:"table2-sc/TK"
+             ~fp:(fp_baseline ~device:sc_device "tk") prog (fun () ->
+               Pipelines.tk_sc sc_device prog))
       in
       ( [ ph; tk ],
         [
-          b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
-          "", cell_checked tk "TK" :: cell_cols tk;
+          b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
+          "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
         ] ))
 
 let table2_ft filters =
   header "Table 2 (FT backend): PH vs TK, each + generic stage"
-    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  pooled
+    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "gap" ];
+  gap_geomeans @@ pooled
     (List.filter (wanted filters) (Suite.ft ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
       let ph =
-        cached ~bench:b.Suite.name ~config:"table2-ft/PH"
-          ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
-          prog
-          (fun () -> ph_ft ~schedule:Config.Depth_oriented prog)
+        analyzed prog
+          (cached ~bench:b.Suite.name ~config:"table2-ft/PH"
+             ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
+             prog
+             (fun () -> ph_ft ~schedule:Config.Depth_oriented prog))
       in
       let tk =
-        cached ~bench:b.Suite.name ~config:"table2-ft/TK" ~fp:(fp_baseline "tk")
-          prog (fun () -> Pipelines.tk_ft prog)
+        analyzed prog
+          (cached ~bench:b.Suite.name ~config:"table2-ft/TK"
+             ~fp:(fp_baseline "tk") prog (fun () -> Pipelines.tk_ft prog))
       in
       ( [ ph; tk ],
         [
-          b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
-          "", cell_checked tk "TK" :: cell_cols tk;
+          b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
+          "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
         ] ))
 
 (* ---------- Table 3: PH vs the QAOA compiler ---------- *)
@@ -243,7 +301,7 @@ let table2_ft filters =
 let table3 filters =
   header "Table 3 (Manhattan-65): PH vs algorithm-specific QAOA compiler"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)" ];
-  pooled
+  ignore @@ pooled
     (List.filter
        (fun (b : Suite.t) ->
          wanted filters b && b.Suite.category = "QAOA" && b.Suite.name.[0] = 'R')
@@ -270,7 +328,7 @@ let table3 filters =
 let table4_sched filters =
   header "Table 4 (left): DO vs GCO scheduling (deltas of DO relative to GCO)"
     [ "cnot"; "single"; "total"; "depth" ];
-  pooled
+  ignore @@ pooled
     (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
@@ -315,7 +373,7 @@ let scheduled_naive (b : Suite.t) prog =
 let table4_bc filters =
   header "Table 4 (right): block-wise compilation vs naive synthesis (deltas)"
     [ "cnot"; "single"; "total"; "depth" ];
-  pooled
+  ignore @@ pooled
     (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
@@ -601,12 +659,14 @@ let compare_reports ?fail_on a_path b_path =
   in
   let a = load a_path and b = load b_path in
   Printf.printf "=== compare: %s (A) vs %s (B) ===\n" a_path b_path;
-  Printf.printf "%-14s %-22s %10s %10s %10s %10s %8s %8s %8s %8s\n" "benchmark"
-    "config" "cnot" "total" "depth" "time" "sched" "synth" "gc" "lint";
+  Printf.printf "%-14s %-22s %10s %10s %10s %10s %8s %8s %8s %8s %8s %8s\n"
+    "benchmark" "config" "cnot" "total" "depth" "time" "sched" "synth" "gc"
+    "lint" "gapA" "gapB";
   let ratios_cnot = ref [] and ratios_total = ref [] in
   let ratios_depth = ref [] and ratios_time = ref [] in
   let ratios_sched = ref [] and ratios_synth = ref [] in
   let ratios_gc = ref [] and ratios_lint = ref [] in
+  let ratios_gap = ref [] in
   let matched = ref 0 in
   (* Cells dropped from the geomeans because one side is zero or absent
      (stage didn't run, metric predates the telemetry).  Skipping is
@@ -663,14 +723,30 @@ let compare_reports ?fail_on a_path b_path =
           stage_ratio ra.Report.trace.Report.lint_s rb.Report.trace.Report.lint_s
             ratios_lint
         in
-        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx %8s %8s %8s %8s\n"
+        (* total-gap ratio of each side; "n/a" (never a fake 0.00) when a
+           record predates the analyzer or its floor is zero *)
+        let gap (r : Report.record) =
+          match r.Report.trace.Report.analysis with
+          | Some { Analysis.Gap.gap_total = Some g; _ } -> Some g
+          | Some _ | None -> None
+        in
+        let ga = gap ra and gb = gap rb in
+        (match ga, gb with
+        | Some ga, Some gb when ga > 0. && gb > 0. ->
+          ratios_gap := (gb /. ga) :: !ratios_gap
+        | _ -> incr skipped);
+        let gap_cell = function
+          | Some g -> Printf.sprintf "%.2fx" g
+          | None -> "n/a"
+        in
+        Printf.printf "%-14s %-22s %10s %10s %10s %9.2fx %8s %8s %8s %8s %8s %8s\n"
           ra.Report.bench ra.Report.config
           (pct ma.Report.cnot mb.Report.cnot)
           (pct ma.Report.total mb.Report.total)
           (pct ma.Report.depth mb.Report.depth)
           (if ma.Report.seconds > 0. then mb.Report.seconds /. ma.Report.seconds
            else nan)
-          sched synth gc lint)
+          sched synth gc lint (gap_cell ga) (gap_cell gb))
     a;
   (* Rows present in only one report used to vanish silently, hiding
      added/removed benchmarks (and typoed config names) from the diff. *)
@@ -706,6 +782,7 @@ let compare_reports ?fail_on a_path b_path =
     gm "synth" !ratios_synth;
     gm "gc" !ratios_gc;
     gm "lint" !ratios_lint;
+    gm "gap" !ratios_gap;
     if !skipped > 0 then
       Printf.printf
         "skipped %d zero/absent-valued cells across %d matched rows (not \
@@ -870,14 +947,16 @@ let history_records suite =
       match item with
       | `Ft (b : Suite.t) ->
         let prog = b.Suite.generate () in
-        (cell ~bench:b.Suite.name ~config:"table2-ft/PH" prog
-           (ph_ft ~schedule:Config.Depth_oriented prog))
-          .c_record
+        analyzed_record prog
+          (cell ~bench:b.Suite.name ~config:"table2-ft/PH" prog
+             (ph_ft ~schedule:Config.Depth_oriented prog))
+            .c_record
       | `Sc (b : Suite.t) ->
         let prog = b.Suite.generate () in
-        (cell ~bench:b.Suite.name ~config:"table2-sc/PH" prog
-           (ph_sc sc_device prog))
-          .c_record)
+        analyzed_record prog
+          (cell ~bench:b.Suite.name ~config:"table2-sc/PH" prog
+             (ph_sc sc_device prog))
+            .c_record)
     items
   |> List.map (function Stdlib.Ok r -> r | Stdlib.Error e -> raise e)
 

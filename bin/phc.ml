@@ -36,8 +36,11 @@ let schedule_of = Ph_serve.Protocol.schedule_of_string
 let config_name backend device schedule =
   Ph_serve.Protocol.config_name ~backend ~device ~schedule
 
-let config_for ~backend ~device ~schedule ~lint ~window =
-  match Ph_serve.Protocol.config_for ~backend ~device ~schedule ~lint ~window with
+let config_for ?analyze ?gap_threshold ~backend ~device ~schedule ~lint ~window () =
+  match
+    Ph_serve.Protocol.config_for ?analyze ?gap_threshold ~backend ~device
+      ~schedule ~lint ~window ()
+  with
   | Ok config -> config
   | Error (`Msg m) -> failwith m
 
@@ -49,12 +52,15 @@ let report_lint ~lint (out : Compiler.output) =
   lint = Lint.Diag.Error_level && Compiler.lint_errors out <> []
 
 let run file backend device schedule window params print_circuit no_verify lint json
-    normalize output =
+    normalize output analyze gap_threshold cert_out =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
     let out =
-      Compiler.compile (config_for ~backend ~device ~schedule ~lint ~window) program
+      Compiler.compile
+        (config_for ~analyze ~gap_threshold ~backend ~device ~schedule ~lint
+           ~window ())
+        program
     in
     Ok (program, out)
   with
@@ -87,8 +93,23 @@ let run file backend device schedule window params print_circuit no_verify lint 
         (Ph_pauli_ir.Program.block_count program)
         (Ph_pauli_ir.Program.term_count program);
       Printf.printf "compiled: %s\n"
-        (Format.asprintf "%a" Report.pp_metrics out.Compiler.metrics)
+        (Format.asprintf "%a" Report.pp_metrics out.Compiler.metrics);
+      match out.Compiler.trace.Report.analysis with
+      | Some s -> print_endline (Format.asprintf "%a" Analysis.Gap.pp s)
+      | None -> ()
     end;
+    (match cert_out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Json.to_string ~indent:true
+               (Analysis.Certificate.to_json out.Compiler.certificate));
+          output_char oc '\n');
+      if not json then Printf.printf "wrote certificate %s\n" path
+    | None -> ());
     let ok =
       no_verify
       ||
@@ -198,11 +219,29 @@ let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
          ~doc:"Write the compiled circuit as OpenQASM 2.0.")
 
+let analyze_arg =
+  Arg.(value & flag & info [ "analyze" ]
+         ~doc:"Run the whole-program static analyzer inside the compile: \
+               commutation-graph lower bounds and optimality-gap diagnostics \
+               (ANA001..ANA004) ride in the record trace and print after the \
+               metrics.")
+
+let gap_threshold_arg =
+  Arg.(value & opt float Config.default_gap_threshold
+       & info [ "gap-threshold" ] ~docv:"RATIO"
+           ~doc:"Achieved/floor ratio above which the analyzer reports ANA003 \
+                 as a warning instead of an ANA002 info.")
+
+let cert_arg =
+  Arg.(value & opt (some string) None & info [ "cert" ] ~docv:"FILE"
+         ~doc:"Write the proof-carrying schedule certificate as JSON to \
+               $(docv); validate later with $(b,phc analyze --check-cert).")
+
 let compile_term =
   Term.(
     const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ window_arg
     $ params_arg $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg
-    $ normalize_arg $ output_arg)
+    $ normalize_arg $ output_arg $ analyze_arg $ gap_threshold_arg $ cert_arg)
 
 let compile_cmd =
   Cmd.v
@@ -221,7 +260,7 @@ let run_batch files backend device schedule window params lint jobs cache_dir
     if files = [] then Error (`Msg "batch: no input files")
     else if jobs < 1 then Error (`Msg "batch: --jobs must be positive")
     else
-      try Ok (config_for ~backend ~device ~schedule ~lint ~window)
+      try Ok (config_for ~backend ~device ~schedule ~lint ~window ())
       with Failure m -> Error (`Msg m)
   with
   | Error (`Msg m) ->
@@ -350,7 +389,7 @@ let run_lint file backend device schedule params json =
     let program = Ph_pauli_ir.Parser.parse ~params source in
     let config =
       config_for ~backend ~device ~schedule ~lint:Lint.Diag.Error_level
-        ~window:Config.default_window
+        ~window:Config.default_window ()
     in
     Ok (program, Compiler.compile config program)
   with
@@ -401,6 +440,102 @@ let lint_cmd =
     Term.(
       const run_lint $ file_arg $ backend_arg $ device_arg $ schedule_arg
       $ params_arg $ json_arg)
+
+(* ---------- phc analyze: static bounds, gaps, certificates ---------- *)
+
+let run_analyze file backend device schedule window params gap_threshold lint
+    json check_cert =
+  match
+    let source = read_file file in
+    let program = Ph_pauli_ir.Parser.parse ~params source in
+    let config =
+      config_for ~analyze:true ~gap_threshold ~backend ~device ~schedule ~lint
+        ~window ()
+    in
+    Ok (program, Compiler.compile config program)
+  with
+  | exception Sys_error m -> prerr_endline m; 1
+  | exception Failure m -> prerr_endline m; 1
+  | exception Ph_pauli_ir.Parser.Parse_error m ->
+    Printf.eprintf "parse error: %s\n" m;
+    1
+  | Error (`Msg m) -> prerr_endline m; 1
+  | Ok (program, out) ->
+    let metrics = out.Compiler.metrics in
+    let check cert =
+      Analysis.Certificate.check ~program
+        ~metrics:(metrics.Report.cnot, metrics.Report.single, metrics.Report.depth)
+        cert
+    in
+    let cert_diags =
+      match check_cert with
+      | None -> check out.Compiler.certificate
+      | Some path -> (
+        match Analysis.Certificate.of_json (Json.parse (read_file path)) with
+        | exception Sys_error m ->
+          [ Lint.Diag.error ~code:"ANA010" Lint.Diag.Program_loc m ]
+        | exception Json.Parse_error m ->
+          [ Lint.Diag.error ~code:"ANA010" Lint.Diag.Program_loc
+              (Printf.sprintf "%s: %s" path m) ]
+        | cert -> check cert)
+    in
+    let trace =
+      { out.Compiler.trace with
+        Report.lint = out.Compiler.trace.Report.lint @ cert_diags }
+    in
+    let diags = trace.Report.lint in
+    let errors = Lint.Diag.errors diags in
+    if json then
+      (* a one-element list of the normalized record — the exact shape
+         bench/main.exe --json writes, so `bench compare` can diff the
+         gap columns of two analyze runs *)
+      let record =
+        Report.normalize_record
+          {
+            Report.bench = Filename.basename file;
+            config = config_name backend device schedule;
+            qubits = Ph_pauli_ir.Program.n_qubits program;
+            paulis = Ph_pauli_ir.Program.term_count program;
+            metrics;
+            trace;
+          }
+      in
+      print_endline
+        (Json.to_string ~indent:true (Json.List [ Report.record_to_json record ]))
+    else begin
+      List.iter (fun d -> print_endline (Lint.Diag.to_string d)) diags;
+      (match trace.Report.analysis with
+      | Some s -> print_endline (Format.asprintf "%a" Analysis.Gap.pp s)
+      | None -> ());
+      let cert = out.Compiler.certificate in
+      Printf.printf "certificate: %s (%d layer(s), %d block(s), est depth %d)\n"
+        (if cert_diags = [] then "ok" else "INVALID")
+        (List.length cert.Analysis.Certificate.layers)
+        cert.Analysis.Certificate.blocks
+        cert.Analysis.Certificate.est_depth_total
+    end;
+    if errors = [] then 0 else 3
+
+let check_cert_arg =
+  Arg.(value & opt (some file) None & info [ "check-cert" ] ~docv:"FILE"
+         ~doc:"Validate a previously saved certificate ($(b,phc compile \
+               --cert)) against this program instead of the freshly emitted \
+               one; any mismatch is reported as a stable ANA01x error.")
+
+let analyze_cmd =
+  let doc =
+    "statically analyze a Pauli IR source: build the anti-commutation graph \
+     of its effective rotations, derive sound lower bounds on depth and gate \
+     counts, compare them with what one compile achieves (gap diagnostics \
+     ANA001..ANA004), and validate the compile's proof-carrying schedule \
+     certificate with the scheduler-independent checker; exits 3 when any \
+     error-severity diagnostic fires"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run_analyze $ file_arg $ backend_arg $ device_arg $ schedule_arg
+      $ window_arg $ params_arg $ gap_threshold_arg $ lint_arg $ json_arg
+      $ check_cert_arg)
 
 (* ---------- phc fuzz: differential fuzzing of all pipelines ---------- *)
 
@@ -663,7 +798,7 @@ let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in
   Cmd.group ~default:compile_term
     (Cmd.info "phc" ~version:"1.0" ~doc)
-    [ compile_cmd; batch_cmd; lint_cmd; fuzz_cmd; serve_cmd; bomb_cmd ]
+    [ compile_cmd; batch_cmd; lint_cmd; analyze_cmd; fuzz_cmd; serve_cmd; bomb_cmd ]
 
 (* `phc input.pauli` (no sub-command) must keep working: route a leading
    positional that is not a sub-command name through `compile`. *)
@@ -674,7 +809,7 @@ let () =
       Array.length argv > 1
       &&
       match argv.(1) with
-      | "fuzz" | "compile" | "lint" | "batch" | "serve" | "bomb" -> false
+      | "fuzz" | "compile" | "lint" | "analyze" | "batch" | "serve" | "bomb" -> false
       | s -> String.length s > 0 && s.[0] <> '-'
     then Array.append [| argv.(0); "compile" |] (Array.sub argv 1 (Array.length argv - 1))
     else argv

@@ -1,0 +1,241 @@
+(* Commutation-graph lower bounds.  Everything here is a pure function
+   of the input program: vertex order is first occurrence, the pairwise
+   scan is index-ordered, and the greedy clique search breaks ties on
+   (degree desc, index asc) — so two runs (or two pool workers) produce
+   identical bounds and identical work counters. *)
+
+module Pauli_string = Ph_pauli.Pauli_string
+module Qubit_set = Ph_pauli.Qubit_set
+module Counter = Ph_perf.Counter
+
+type t = {
+  n_qubits : int;
+  vertices : int;
+  graph_edges : int;
+  components : int;
+  clique : int;
+  max_load : int;
+  depth_lower : int;
+  cnot_lower : int;
+  single_lower : int;
+  total_lower : int;
+  tree_cnots : int;
+  edges_scanned : int;
+  clique_iters : int;
+}
+
+(* ---------- effective rotation set ---------- *)
+
+(* Distinct non-identity strings with a nonzero signed angle sum, in
+   first-occurrence order.  Merging duplicates and dropping exact
+   cancellations only ever weakens the bounds, keeping them sound for
+   any compiler that fuses or cancels equal-axis rotations. *)
+let effective_rotations prog =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun (str, angle) ->
+      if not (Pauli_string.is_identity str) then
+        match Hashtbl.find_opt tbl str with
+        | Some cell -> cell := !cell +. angle
+        | None ->
+          let cell = ref angle in
+          Hashtbl.add tbl str cell;
+          order := (str, cell) :: !order;
+          incr n)
+    (Ph_pauli_ir.Program.rotations prog);
+  List.rev !order
+  |> List.filter_map (fun (str, cell) -> if !cell = 0. then None else Some str)
+
+(* ---------- union-find (components) ---------- *)
+
+let find parent i =
+  let rec root i = if parent.(i) = i then i else root parent.(i) in
+  let r = root i in
+  (* path compression *)
+  let rec compress i =
+    if parent.(i) <> r then begin
+      let next = parent.(i) in
+      parent.(i) <- r;
+      compress next
+    end
+  in
+  compress i;
+  r
+
+let union parent i j =
+  let ri = find parent i and rj = find parent j in
+  if ri <> rj then parent.(ri) <- rj
+
+(* ---------- greedy clique ---------- *)
+
+(* Grow a clique from each of the highest-degree seeds: candidates are
+   the seed's neighbours, each pick takes the max-degree candidate
+   (lowest index on ties) and intersects the candidate set with its
+   adjacency row.  Every pick is one counted refinement step. *)
+let greedy_clique ~v ~adj ~degree =
+  if v = 0 then (0, 0)
+  else begin
+    let iters = ref 0 in
+    let pick_best set =
+      Qubit_set.fold
+        (fun i best ->
+          match best with
+          | Some b when degree.(b) > degree.(i) -> best
+          | Some b when degree.(b) = degree.(i) && b < i -> best
+          | _ -> Some i)
+        set None
+    in
+    let seeds =
+      let idx = Array.init v (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          if degree.(a) <> degree.(b) then compare degree.(b) degree.(a)
+          else compare a b)
+        idx;
+      Array.to_list (Array.sub idx 0 (min 16 v))
+    in
+    let best = ref 1 in
+    List.iter
+      (fun seed ->
+        let size = ref 1 in
+        let current = ref (Qubit_set.copy adj.(seed)) in
+        let continue_ = ref true in
+        while !continue_ do
+          match pick_best !current with
+          | None -> continue_ := false
+          | Some c ->
+            incr iters;
+            incr size;
+            current := Qubit_set.inter !current adj.(c)
+        done;
+        if !size > !best then best := !size)
+      seeds;
+    (!best, !iters)
+  end
+
+let of_program prog =
+  let n_qubits = Ph_pauli_ir.Program.n_qubits prog in
+  let rotations = effective_rotations prog in
+  let v = List.length rotations in
+  let strs = Array.of_list rotations in
+  let supports = Array.map Pauli_string.support_set strs in
+  (* pairwise anti-commutation scan *)
+  let adj = Array.init v (fun _ -> Qubit_set.create v) in
+  let degree = Array.make (max v 1) 0 in
+  let parent = Array.init (max v 1) (fun i -> i) in
+  let edges = ref 0 in
+  let scanned = ref 0 in
+  for i = 0 to v - 1 do
+    for j = i + 1 to v - 1 do
+      incr scanned;
+      if not (Pauli_string.commutes strs.(i) strs.(j)) then begin
+        incr edges;
+        Qubit_set.add adj.(i) j;
+        Qubit_set.add adj.(j) i;
+        degree.(i) <- degree.(i) + 1;
+        degree.(j) <- degree.(j) + 1;
+        union parent i j
+      end
+    done
+  done;
+  let components =
+    if v = 0 then 0
+    else begin
+      let seen = Hashtbl.create 16 in
+      for i = 0 to v - 1 do
+        Hashtbl.replace seen (find parent i) ()
+      done;
+      Hashtbl.length seen
+    end
+  in
+  let clique, clique_iters = greedy_clique ~v ~adj ~degree in
+  (* per-qubit load of effective rotations *)
+  let load = Array.make (max n_qubits 1) 0 in
+  Array.iter
+    (fun s -> Qubit_set.iter (fun q -> load.(q) <- load.(q) + 1) s)
+    supports;
+  let max_load = Array.fold_left max 0 load in
+  (* distinct multi-qubit supports *)
+  let support_tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun i s ->
+      if Qubit_set.cardinal s >= 2 then
+        Hashtbl.replace support_tbl (Qubit_set.to_list supports.(i)) ())
+    supports;
+  let s2 = Hashtbl.length support_tbl in
+  let cnot_lower = if s2 = 0 then 0 else s2 + 1 in
+  let single_lower = v in
+  let depth_lower = max max_load clique in
+  let tree_cnots =
+    List.fold_left
+      (fun acc b ->
+        List.fold_left
+          (fun acc (t : Ph_pauli.Pauli_term.t) ->
+            acc + max 0 (Pauli_string.weight t.str - 1))
+          acc
+          (Ph_pauli_ir.Block.terms b))
+      0
+      (Ph_pauli_ir.Program.blocks prog)
+  in
+  Counter.add Counter.ana_edges_scanned !scanned;
+  Counter.add Counter.ana_clique_iters clique_iters;
+  {
+    n_qubits;
+    vertices = v;
+    graph_edges = !edges;
+    components;
+    clique;
+    max_load;
+    depth_lower;
+    cnot_lower;
+    single_lower;
+    total_lower = cnot_lower + single_lower;
+    tree_cnots;
+    edges_scanned = !scanned;
+    clique_iters;
+  }
+
+let to_json (b : t) =
+  Ph_json.Obj
+    [
+      "n_qubits", Ph_json.Int b.n_qubits;
+      "vertices", Ph_json.Int b.vertices;
+      "graph_edges", Ph_json.Int b.graph_edges;
+      "components", Ph_json.Int b.components;
+      "clique", Ph_json.Int b.clique;
+      "max_load", Ph_json.Int b.max_load;
+      "depth_lower", Ph_json.Int b.depth_lower;
+      "cnot_lower", Ph_json.Int b.cnot_lower;
+      "single_lower", Ph_json.Int b.single_lower;
+      "total_lower", Ph_json.Int b.total_lower;
+      "tree_cnots", Ph_json.Int b.tree_cnots;
+      "edges_scanned", Ph_json.Int b.edges_scanned;
+      "clique_iters", Ph_json.Int b.clique_iters;
+    ]
+
+let of_json j =
+  let int k = Ph_json.to_int (Ph_json.get k j) in
+  {
+    n_qubits = int "n_qubits";
+    vertices = int "vertices";
+    graph_edges = int "graph_edges";
+    components = int "components";
+    clique = int "clique";
+    max_load = int "max_load";
+    depth_lower = int "depth_lower";
+    cnot_lower = int "cnot_lower";
+    single_lower = int "single_lower";
+    total_lower = int "total_lower";
+    tree_cnots = int "tree_cnots";
+    edges_scanned = int "edges_scanned";
+    clique_iters = int "clique_iters";
+  }
+
+let pp fmt (b : t) =
+  Format.fprintf fmt
+    "floors: depth>=%d cnot>=%d single>=%d total>=%d (V=%d E=%d comp=%d \
+     clique=%d load=%d tree_cnots=%d)"
+    b.depth_lower b.cnot_lower b.single_lower b.total_lower b.vertices
+    b.graph_edges b.components b.clique b.max_load b.tree_cnots

@@ -1,0 +1,62 @@
+(** Static lower bounds from the commutation graph.
+
+    The analysis works on the {e effective rotation set} of a program:
+    the distinct non-identity Pauli strings whose signed rotation
+    angles, summed across every occurrence in the program, are nonzero.
+    Duplicated strings merge (any compiler may fuse equal-axis
+    rotations) and exactly-cancelling strings drop, so every bound
+    below is a floor for {e any} correct compilation of the program,
+    not just for the schedules this repo produces.
+
+    Derivations (see DESIGN.md §13):
+
+    - [single_lower = V]: each of the [V] effective rotations needs at
+      least one parameterized single-qubit rotation gate at generic
+      angles.
+    - [cnot_lower = S₂ + 1] (0 when [S₂ = 0]) where [S₂] is the number
+      of distinct support sets of weight ≥ 2 among effective rotations:
+      wire parities start as unit vectors, so materializing each
+      distinct multi-qubit support costs ≥ 1 CNOT, and returning to the
+      identity frame costs ≥ 1 more.  Deliberately {e not}
+      [Σ (weight−1)] — cumulative-chain synthesis implements nested
+      supports with two CNOTs per step, so the naive sum is unsound.
+    - [depth_lower = max(max_load, clique)] under the
+      sequential-rotation execution model: rotations sharing a qubit
+      serialize on it ([max_load]), and pairwise anti-commuting
+      rotations can never merge or reorder into one step ([clique],
+      greedy).
+    - [tree_cnots = Σ_blocks Σ_terms (weight−1)]: the CNOT-tree
+      material of the paper's per-block synthesis, reported as context
+      for the tree-based backends rather than folded into the sound
+      program floor.
+
+    All work performed is counted through [Ph_perf.Counter]
+    ([ana_edges_scanned], [ana_clique_iters]), so analysis output and
+    counters are byte-identical across runs and [--jobs] settings. *)
+
+type t = {
+  n_qubits : int;
+  vertices : int;  (** distinct effective rotations [V] *)
+  graph_edges : int;  (** anti-commuting vertex pairs *)
+  components : int;  (** connected components of the graph *)
+  clique : int;  (** greedy max pairwise-anti-commuting set size *)
+  max_load : int;  (** max per-qubit effective-rotation count *)
+  depth_lower : int;
+  cnot_lower : int;
+  single_lower : int;
+  total_lower : int;  (** [cnot_lower + single_lower] *)
+  tree_cnots : int;  (** per-block CNOT-tree material, not a floor *)
+  edges_scanned : int;  (** vertex pairs examined *)
+  clique_iters : int;  (** candidate-set refinement steps *)
+}
+
+val of_program : Ph_pauli_ir.Program.t -> t
+(** Build the commutation graph and all bounds.  Deterministic: vertex
+    order is first occurrence in program order, the clique search seeds
+    and tie-breaks on (degree desc, index asc). *)
+
+val to_json : t -> Ph_json.t
+val of_json : Ph_json.t -> t
+(** @raise Ph_json.Parse_error on schema mismatch. *)
+
+val pp : Format.formatter -> t -> unit

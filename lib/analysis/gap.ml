@@ -1,0 +1,129 @@
+module Diag = Ph_lint.Diag
+
+type summary = {
+  bounds : Bounds.t;
+  achieved_cnot : int;
+  achieved_single : int;
+  achieved_total : int;
+  achieved_depth : int;
+  gap_cnot : float option;
+  gap_single : float option;
+  gap_total : float option;
+  gap_depth : float option;
+}
+
+let ratio achieved floor =
+  if floor <= 0 then None else Some (float_of_int achieved /. float_of_int floor)
+
+let summarize ~cnot ~single ~total ~depth (b : Bounds.t) =
+  {
+    bounds = b;
+    achieved_cnot = cnot;
+    achieved_single = single;
+    achieved_total = total;
+    achieved_depth = depth;
+    gap_cnot = ratio cnot b.Bounds.cnot_lower;
+    gap_single = ratio single b.Bounds.single_lower;
+    gap_total = ratio total b.Bounds.total_lower;
+    gap_depth = ratio depth b.Bounds.depth_lower;
+  }
+
+let diagnose ~threshold (s : summary) =
+  let b = s.bounds in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  emit
+    (Diag.info ~code:"ANA001" Diag.Program_loc
+       (Format.asprintf "%a" Bounds.pp b));
+  let metric name achieved floor gap =
+    if achieved < floor then
+      emit
+        (Diag.error ~code:"ANA004" Diag.Program_loc
+           (Printf.sprintf "achieved %s %d is below its static floor %d" name
+              achieved floor))
+    else
+      match gap with
+      | None -> ()
+      | Some g ->
+        emit
+          (Diag.info ~code:"ANA002" Diag.Program_loc
+             (Printf.sprintf "%s gap %.2fx (achieved %d vs floor %d)" name g
+                achieved floor));
+        if g > threshold then
+          emit
+            (Diag.warning ~code:"ANA003" Diag.Program_loc
+               (Printf.sprintf "%s gap %.2fx exceeds threshold %.2fx" name g
+                  threshold))
+  in
+  metric "depth" s.achieved_depth b.Bounds.depth_lower s.gap_depth;
+  metric "cnot" s.achieved_cnot b.Bounds.cnot_lower s.gap_cnot;
+  metric "single" s.achieved_single b.Bounds.single_lower s.gap_single;
+  metric "total" s.achieved_total b.Bounds.total_lower s.gap_total;
+  List.rev !out
+
+let opt_float = function None -> Ph_json.Null | Some f -> Ph_json.Float f
+
+let to_json (s : summary) =
+  Ph_json.Obj
+    [
+      "bounds", Bounds.to_json s.bounds;
+      "achieved_cnot", Ph_json.Int s.achieved_cnot;
+      "achieved_single", Ph_json.Int s.achieved_single;
+      "achieved_total", Ph_json.Int s.achieved_total;
+      "achieved_depth", Ph_json.Int s.achieved_depth;
+      "gap_cnot", opt_float s.gap_cnot;
+      "gap_single", opt_float s.gap_single;
+      "gap_total", opt_float s.gap_total;
+      "gap_depth", opt_float s.gap_depth;
+    ]
+
+let float_opt j k =
+  match Ph_json.member k j with
+  | None | Some Ph_json.Null -> None
+  | Some v -> Some (Ph_json.to_float v)
+
+let of_json j =
+  let int k = Ph_json.to_int (Ph_json.get k j) in
+  {
+    bounds = Bounds.of_json (Ph_json.get "bounds" j);
+    achieved_cnot = int "achieved_cnot";
+    achieved_single = int "achieved_single";
+    achieved_total = int "achieved_total";
+    achieved_depth = int "achieved_depth";
+    gap_cnot = float_opt j "gap_cnot";
+    gap_single = float_opt j "gap_single";
+    gap_total = float_opt j "gap_total";
+    gap_depth = float_opt j "gap_depth";
+  }
+
+(* Integer permille of a gap ratio: deterministic (pure int->float->int
+   arithmetic) and db-friendly.  0 encodes "no floor". *)
+let milli = function None -> 0 | Some g -> int_of_float ((g *. 1000.) +. 0.5)
+
+let gap_rows (s : summary) =
+  let b = s.bounds in
+  [
+    "ana_depth_floor", b.Bounds.depth_lower;
+    "ana_cnot_floor", b.Bounds.cnot_lower;
+    "ana_single_floor", b.Bounds.single_lower;
+    "ana_total_floor", b.Bounds.total_lower;
+    "ana_vertices", b.Bounds.vertices;
+    "ana_graph_edges", b.Bounds.graph_edges;
+    "ana_components", b.Bounds.components;
+    "ana_clique", b.Bounds.clique;
+    "ana_max_load", b.Bounds.max_load;
+    "ana_tree_cnots", b.Bounds.tree_cnots;
+    "gap_depth_milli", milli s.gap_depth;
+    "gap_cnot_milli", milli s.gap_cnot;
+    "gap_single_milli", milli s.gap_single;
+    "gap_total_milli", milli s.gap_total;
+  ]
+
+let pp_gap fmt = function
+  | None -> Format.pp_print_string fmt "n/a"
+  | Some g -> Format.fprintf fmt "%.2fx" g
+
+let pp fmt (s : summary) =
+  Format.fprintf fmt "%a@.gaps: depth=%a cnot=%a single=%a total=%a" Bounds.pp
+    s.bounds pp_gap s.gap_depth pp_gap s.gap_cnot pp_gap s.gap_single pp_gap
+    s.gap_total

@@ -1,0 +1,43 @@
+(** Optimality-gap diagnostics: achieved metrics vs. static floors.
+
+    A {!summary} pairs the {!Bounds} of a program with the metrics one
+    compile achieved and the resulting gap ratios (achieved / floor;
+    [None] when the floor is zero).  {!diagnose} turns a summary into
+    stable [ANA00x] diagnostics:
+
+    - [ANA001] (info) — the static floors, always emitted;
+    - [ANA002] (info) — per-metric gap ratio, for each nonzero floor;
+    - [ANA003] (warning) — a gap ratio above the configured threshold;
+    - [ANA004] (error) — an achieved metric {e below} its floor, which
+      means either an unsound bound or a miscounted circuit and should
+      always fail CI. *)
+
+type summary = {
+  bounds : Bounds.t;
+  achieved_cnot : int;
+  achieved_single : int;
+  achieved_total : int;
+  achieved_depth : int;
+  gap_cnot : float option;
+  gap_single : float option;
+  gap_total : float option;
+  gap_depth : float option;
+}
+
+val summarize :
+  cnot:int -> single:int -> total:int -> depth:int -> Bounds.t -> summary
+
+val diagnose : threshold:float -> summary -> Ph_lint.Diag.t list
+(** [threshold] is the gap ratio above which ANA003 fires (see
+    [Config.gap_threshold]). *)
+
+val to_json : summary -> Ph_json.t
+val of_json : Ph_json.t -> summary
+(** @raise Ph_json.Parse_error on schema mismatch. *)
+
+val gap_rows : summary -> (string * int) list
+(** History-db projection: the floors, graph shape, and gap ratios (as
+    integer permilles) under names disjoint from the [ana_*] work
+    counters, so one record never emits two rows with the same key. *)
+
+val pp : Format.formatter -> summary -> unit

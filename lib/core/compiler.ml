@@ -12,6 +12,7 @@ type output = {
   final_layout : Layout.t option;
   metrics : Report.metrics;
   trace : Report.trace;
+  certificate : Ph_analysis.Certificate.t;
 }
 
 let lint_errors o = Ph_lint.Diag.errors o.trace.Report.lint
@@ -186,6 +187,33 @@ let compile config prog =
       Ph_lint.Check_frame.check ?layouts ~rotations circuit);
   let schedule_s, synthesis_s, swap_decompose_s, peephole_s = timings in
   let synthesis_gc, swap_gc, peephole_gc = gcs in
+  let metrics = Report.of_circuit circuit in
+  (* stage 5 (opt-in): the static analyzer — bounds and gap diagnostics
+     run inside the compile window so their work counters land in
+     [trace.perf]; findings are appended regardless of the lint level
+     ([Config.analyze] is its own switch), and the time folds into
+     [lint_s] alongside the other checkers *)
+  let analysis =
+    if config.Config.analyze then begin
+      let (summary, diags), ana_s, ana_gc =
+        Report.timed_gc (fun () ->
+            let bounds = Ph_analysis.Bounds.of_program prog in
+            let summary =
+              Ph_analysis.Gap.summarize ~cnot:metrics.Report.cnot
+                ~single:metrics.Report.single ~total:metrics.Report.total
+                ~depth:metrics.Report.depth bounds
+            in
+            ( summary,
+              Ph_analysis.Gap.diagnose ~threshold:config.Config.gap_threshold
+                summary ))
+      in
+      acc.diags <- acc.diags @ diags;
+      acc.seconds <- acc.seconds +. ana_s;
+      acc.gc <- Report.gc_add acc.gc ana_gc;
+      Some summary
+    end
+    else None
+  in
   let seconds = Unix.gettimeofday () -. t0 in
   let perf1 = Ph_perf.Counter.snapshot () in
   (* Minor-heap words are an exact count of the calling domain's
@@ -203,12 +231,20 @@ let compile config prog =
         "alloc_lint_words", alloc acc.gc;
       ]
   in
+  (* The certificate is built outside the perf window: digesting blocks
+     is bookkeeping about the schedule, not compilation work. *)
+  let certificate =
+    Ph_analysis.Certificate.build ~n_qubits:(Program.n_qubits prog)
+      ~cnot:metrics.Report.cnot ~single:metrics.Report.single
+      ~depth:metrics.Report.depth
+      (List.map (fun l -> l.Layer.blocks) layers)
+  in
   {
     circuit;
     rotations;
     initial_layout;
     final_layout;
-    metrics = Report.of_circuit ~seconds circuit;
+    metrics = { metrics with Report.seconds };
     trace =
       {
         Report.schedule_s;
@@ -227,7 +263,9 @@ let compile config prog =
             "lint", acc.gc;
           ];
         perf;
+        analysis;
       };
+    certificate;
   }
 
 let compile_ft ?schedule ?lint ?window prog =

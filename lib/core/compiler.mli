@@ -23,6 +23,10 @@ type output = {
   metrics : Report.metrics;
   trace : Report.trace;
       (** per-stage wall-clock timings and pass counters of this compile *)
+  certificate : Ph_analysis.Certificate.t;
+      (** proof-carrying schedule certificate, emitted on every compile;
+          [Ph_analysis.Certificate.check] replays it against the input
+          program with no dependency on the scheduler *)
 }
 
 (** [compile config program].  When [config.lint] is [Warn] or

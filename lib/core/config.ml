@@ -13,31 +13,52 @@ type t = {
   peephole : bool;
   lint : Ph_lint.Diag.level;
   window : int;
+  analyze : bool;
+  gap_threshold : float;
 }
 
 let default_window = Ph_schedule.Depth_oriented.default_window
+let default_gap_threshold = 8.
 
-let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window) () =
-  { schedule; backend = Ft; peephole = true; lint; window }
+let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
+    ?(analyze = false) ?(gap_threshold = default_gap_threshold) () =
+  { schedule; backend = Ft; peephole = true; lint; window; analyze; gap_threshold }
 
 let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
-    ?(window = default_window) coupling =
-  { schedule; backend = Sc { coupling; noise }; peephole = true; lint; window }
+    ?(window = default_window) ?(analyze = false)
+    ?(gap_threshold = default_gap_threshold) coupling =
+  {
+    schedule;
+    backend = Sc { coupling; noise };
+    peephole = true;
+    lint;
+    window;
+    analyze;
+    gap_threshold;
+  }
 
 (* The ion-trap backend's native lowering interleaves its own cleanup,
    and [Compiler.compile] does not run the generic peephole stage for
    it; the default must say so (the linter's CFG001 flags a config that
    claims otherwise). *)
 let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
-    () =
-  { schedule; backend = Ion_trap; peephole = false; lint; window }
+    ?(analyze = false) ?(gap_threshold = default_gap_threshold) () =
+  {
+    schedule;
+    backend = Ion_trap;
+    peephole = false;
+    lint;
+    window;
+    analyze;
+    gap_threshold;
+  }
 
 (* ---------- stable fingerprints (compile-cache keys) ---------- *)
 
 (* Bump whenever any pass can change its output for an unchanged
    (program, config) pair — the tag is part of every cache key, so a
    bump invalidates all previously cached compiles. *)
-let version_tag = "paulihedral/6"
+let version_tag = "paulihedral/7"
 
 let schedule_name = function
   | Program_order -> "none"
@@ -58,12 +79,14 @@ let backend_fingerprint = function
       (match noise with None -> "none" | Some _ -> "opaque")
 
 let fingerprint t =
-  Printf.sprintf "v=%s;schedule=%s;backend=%s;peephole=%b;lint=%s;window=%d"
+  Printf.sprintf
+    "v=%s;schedule=%s;backend=%s;peephole=%b;lint=%s;window=%d;analyze=%b;gap=%s"
     version_tag (schedule_name t.schedule)
     (backend_fingerprint t.backend)
     t.peephole
     (Ph_lint.Diag.level_to_string t.lint)
-    t.window
+    t.window t.analyze
+    (Ph_pauli.Float_text.repr t.gap_threshold)
 
 (* A noise model has no stable textual identity, so a noisy SC config
    must never be served from (or stored into) the compile cache. *)

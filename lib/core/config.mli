@@ -37,16 +37,35 @@ type t = {
           chaining); default {!default_window}.  Recorded in
           [Report.trace.counters] so bench runs document the knob.
           Ignored by [Program_order] and [Gco]. *)
+  analyze : bool;
+      (** Run the static analyzer ([Ph_analysis]) inside the compile:
+          commutation-graph lower bounds and optimality-gap [ANA0xx]
+          diagnostics land in [Report.trace] (default [false]).  The
+          schedule certificate is emitted unconditionally. *)
+  gap_threshold : float;
+      (** Achieved/floor ratio above which the analyzer's ANA003
+          warning fires; default {!default_gap_threshold}. *)
 }
 
 (** The schedulers' shared default scan window
     ([Ph_schedule.Depth_oriented.default_window]). *)
 val default_window : int
 
+(** Default ANA003 gap-warning threshold (8×): generous enough that the
+    table-2 suites stay warning-free at their observed gaps, tight
+    enough to flag a schedule an order of magnitude off its floor. *)
+val default_gap_threshold : float
+
 (** FT defaults: DO scheduling (the paper's headline FT configuration
     pairs naturally with either; see Table 4), peephole on. *)
 val ft :
-  ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> ?window:int -> unit -> t
+  ?schedule:schedule ->
+  ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
+  ?analyze:bool ->
+  ?gap_threshold:float ->
+  unit ->
+  t
 
 (** SC defaults: DO scheduling on the given device, peephole on. *)
 val sc :
@@ -54,6 +73,8 @@ val sc :
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?analyze:bool ->
+  ?gap_threshold:float ->
   Coupling.t ->
   t
 
@@ -61,7 +82,13 @@ val sc :
     objective), peephole [false] — the backend never runs the generic
     stage, and the config must not pretend it does. *)
 val ion_trap :
-  ?schedule:schedule -> ?lint:Ph_lint.Diag.level -> ?window:int -> unit -> t
+  ?schedule:schedule ->
+  ?lint:Ph_lint.Diag.level ->
+  ?window:int ->
+  ?analyze:bool ->
+  ?gap_threshold:float ->
+  unit ->
+  t
 
 (** Compiler version tag, part of every compile-cache key
     ({!fingerprint} embeds it).  Bumped whenever any pass can change its

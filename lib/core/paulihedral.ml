@@ -14,6 +14,9 @@
     - {!Perf} — deterministic work counters ([Ph_perf]): per-compile
       snapshots carried in every {!Report.record} plus the per-commit
       counter history db behind [bench history].
+    - {!Analysis} — the static analyzer ([Ph_analysis]):
+      commutation-graph lower bounds, optimality-gap diagnostics, and
+      the scheduler-independent certificate checker.
 
     The underlying subsystem libraries ([Ph_pauli], [Ph_pauli_ir],
     [Ph_schedule], [Ph_synthesis], [Ph_hardware], [Ph_baselines],
@@ -26,3 +29,4 @@ module Report = Report
 module Compiler = Compiler
 module Pipelines = Pipelines
 module Perf = Ph_perf
+module Analysis = Ph_analysis

@@ -102,6 +102,9 @@ type trace = {
   perf : (string * int) list;
       (* deterministic work counters ([Ph_perf.Counter] compile-scope
          deltas plus per-stage [alloc_*_words] ints), in fixed order *)
+  analysis : Ph_analysis.Gap.summary option;
+      (* static bounds + gap ratios, present when the compile ran with
+         [Config.analyze] (or a driver attached a post-hoc analysis) *)
 }
 
 let empty_counters =
@@ -125,6 +128,7 @@ let empty_trace =
     lint = [];
     gc = [];
     perf = [];
+    analysis = None;
   }
 
 let trace_gc_words t =
@@ -167,19 +171,25 @@ let gc_delta_of_json j =
 
 let trace_to_json (t : trace) =
   Json.Obj
-    [
-      "schedule_s", Json.Float t.schedule_s;
-      "synthesis_s", Json.Float t.synthesis_s;
-      "swap_decompose_s", Json.Float t.swap_decompose_s;
-      "peephole_s", Json.Float t.peephole_s;
-      "lint_s", Json.Float t.lint_s;
-      "counters", counters_to_json t.counters;
-      "lint_errors", Json.Int (List.length (Ph_lint.Diag.errors t.lint));
-      "lint_warnings", Json.Int (List.length (Ph_lint.Diag.warnings t.lint));
-      "lint", Json.List (List.map Ph_lint.Diag.to_json t.lint);
-      "gc", Json.Obj (List.map (fun (s, g) -> s, gc_delta_to_json g) t.gc);
-      "perf", Json.Obj (List.map (fun (k, v) -> k, Json.Int v) t.perf);
-    ]
+    ([
+       "schedule_s", Json.Float t.schedule_s;
+       "synthesis_s", Json.Float t.synthesis_s;
+       "swap_decompose_s", Json.Float t.swap_decompose_s;
+       "peephole_s", Json.Float t.peephole_s;
+       "lint_s", Json.Float t.lint_s;
+       "counters", counters_to_json t.counters;
+       "lint_errors", Json.Int (List.length (Ph_lint.Diag.errors t.lint));
+       "lint_warnings", Json.Int (List.length (Ph_lint.Diag.warnings t.lint));
+       "lint", Json.List (List.map Ph_lint.Diag.to_json t.lint);
+       "gc", Json.Obj (List.map (fun (s, g) -> s, gc_delta_to_json g) t.gc);
+       "perf", Json.Obj (List.map (fun (k, v) -> k, Json.Int v) t.perf);
+     ]
+    (* emitted only when present, so pre-analysis reports and
+       non-analyzing compiles keep their exact former shape *)
+    @
+    match t.analysis with
+    | None -> []
+    | Some s -> [ "analysis", Ph_analysis.Gap.to_json s ])
 
 let record_to_json (r : record) =
   Json.Obj
@@ -239,6 +249,11 @@ let trace_of_json j =
         List.map (fun (k, v) -> k, Json.to_int v) fields
       | Some _ -> raise (Json.Parse_error "trace perf: expected object")
       | None -> []);
+    (* absent from pre-analysis reports (PR ≤ 7) and plain compiles *)
+    analysis =
+      (match Json.member "analysis" j with
+      | None | Some Json.Null -> None
+      | Some v -> Some (Ph_analysis.Gap.of_json v));
   }
 
 let record_of_json j =
@@ -307,6 +322,12 @@ let perf_rows ~commit (r : record) =
     mk "peephole_rounds" c.peephole_rounds;
   ]
   @ List.map (fun (k, v) -> mk k v) r.trace.perf
+  (* gap/floor rows use names disjoint from the ana_* work counters in
+     [trace.perf], so a record never yields two rows with one key *)
+  @
+  match r.trace.analysis with
+  | None -> []
+  | Some s -> List.map (fun (k, v) -> mk k v) (Ph_analysis.Gap.gap_rows s)
 
 (* ---------- batch aggregation ---------- *)
 

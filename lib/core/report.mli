@@ -98,6 +98,11 @@ type trace = {
           order.  Bit-identical across runs, [--jobs] settings and
           machines; [[]] in records predating the subsystem (PR ≤ 6)
           and in baseline-stage traces *)
+  analysis : Ph_analysis.Gap.summary option;
+      (** static lower bounds and gap ratios — [Some] when the compile
+          ran with [Config.analyze] or a driver (bench, history record)
+          attached a post-hoc analysis; [None] otherwise and in records
+          predating the analyzer (PR ≤ 7) *)
 }
 
 val empty_counters : pass_counters

@@ -1,4 +1,4 @@
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 type location =
   | Config_loc
@@ -18,10 +18,12 @@ type t = {
 
 let error ~code location message = { severity = Error; code; location; message }
 let warning ~code location message = { severity = Warning; code; location; message }
+let info ~code location message = { severity = Info; code; location; message }
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
 let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let infos ds = List.filter (fun d -> d.severity = Info) ds
 
 type level = Off | Warn | Error_level
 
@@ -33,7 +35,10 @@ let level_of_string = function
 
 let level_to_string = function Off -> "off" | Warn -> "warn" | Error_level -> "error"
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
 
 let location_to_string = function
   | Config_loc -> "config"
@@ -94,6 +99,7 @@ let of_json j =
     match str "severity" with
     | "error" -> Error
     | "warning" -> Warning
+    | "info" -> Info
     | s -> raise (Ph_json.Parse_error ("unknown diagnostic severity " ^ s))
   in
   {
@@ -125,4 +131,13 @@ let known_codes =
     "VER001", Error, "Pauli-frame verification failed against the rotation trace";
     "CFG001", Warning, "configured pass is ignored by the chosen backend";
     "CFG002", Warning, "SC coupling graph is disconnected";
+    "ANA001", Info, "static lower bounds for the program (depth/cnot/single)";
+    "ANA002", Info, "achieved-vs-floor gap ratio for one metric";
+    "ANA003", Warning, "optimality gap exceeds the configured threshold";
+    "ANA004", Error, "achieved metric below its static floor (unsound bound or miscount)";
+    "ANA010", Error, "certificate schema or qubit-count mismatch";
+    "ANA011", Error, "certificate block multiset differs from the program";
+    "ANA012", Error, "certificate layer record inconsistent (leader, digest, qubit set, or depth)";
+    "ANA013", Error, "certificate padding block overlaps its layer leader";
+    "ANA014", Error, "certificate cost accounting differs from the compiled metrics";
   ]

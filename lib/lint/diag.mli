@@ -7,7 +7,7 @@
     whether a finding is fatal (see {!level}) — and serialize to
     {!Ph_json.t} so they ride inside bench reports and fuzz artifacts. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 (** Where in the compile a finding anchors.  Indices are 0-based and
     refer to the stage's own coordinate system: blocks and terms index
@@ -31,12 +31,14 @@ type t = {
 
 val error : code:string -> location -> string -> t
 val warning : code:string -> location -> string -> t
+val info : code:string -> location -> string -> t
 
 (** {1 Aggregation} *)
 
 val is_error : t -> bool
 val errors : t list -> t list
 val warnings : t list -> t list
+val infos : t list -> t list
 
 (** {1 Lint levels}
 

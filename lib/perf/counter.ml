@@ -20,12 +20,15 @@ let sched_window_truncations = 8
 let circuit_gates_built = 9
 let peephole_probes = 10
 let peephole_scan_rounds = 11
-let cache_probes = 12
-let cache_hits_mem = 13
-let cache_hits_disk = 14
-let cache_stores = 15
+let ana_edges_scanned = 12
+let ana_clique_iters = 13
+let ana_cert_checks = 14
+let cache_probes = 15
+let cache_hits_mem = 16
+let cache_hits_disk = 17
+let cache_stores = 18
 
-let n_counters = 16
+let n_counters = 19
 
 (* The [cache_*] group sits at the tail; everything below this index is
    compile-scoped (deterministic per compile). *)
@@ -45,6 +48,9 @@ let names =
     "circuit_gates_built";
     "peephole_probes";
     "peephole_scan_rounds";
+    "ana_edges_scanned";
+    "ana_clique_iters";
+    "ana_cert_checks";
     "cache_probes";
     "cache_hits_mem";
     "cache_hits_disk";

@@ -56,6 +56,17 @@ val peephole_probes : id
 val peephole_scan_rounds : id
 (** Cancellation sweeps run (to fixpoint, across all stages). *)
 
+(* Static analysis work (lib/analysis). *)
+
+val ana_edges_scanned : id
+(** Vertex pairs examined while building the commutation graph. *)
+
+val ana_clique_iters : id
+(** Candidate-set refinement steps of the greedy clique search. *)
+
+val ana_cert_checks : id
+(** Schedule-certificate validations performed by the checker. *)
+
 (* Compile-cache traffic (lib/pool).  Process-scoped only: warm/cold
    dependent, so never part of a per-compile snapshot. *)
 

@@ -45,15 +45,16 @@ let config_name ~backend ~device ~schedule =
   | "sc" -> Printf.sprintf "sc/%s/%s" device sched
   | b -> Printf.sprintf "%s/%s" b sched
 
-let config_for ~backend ~device ~schedule ~lint ~window =
+let config_for ?analyze ?gap_threshold ~backend ~device ~schedule ~lint ~window () =
   if window <= 0 then Error (`Msg "window must be positive")
   else
     match backend with
-    | "ft" -> Ok (Config.ft ~schedule ~lint ~window ())
-    | "it" -> Ok (Config.ion_trap ~schedule ~lint ~window ())
+    | "ft" -> Ok (Config.ft ~schedule ~lint ~window ?analyze ?gap_threshold ())
+    | "it" -> Ok (Config.ion_trap ~schedule ~lint ~window ?analyze ?gap_threshold ())
     | "sc" ->
       Result.map
-        (fun coupling -> Config.sc ~schedule ~lint ~window coupling)
+        (fun coupling ->
+          Config.sc ~schedule ~lint ~window ?analyze ?gap_threshold coupling)
         (parse_device device)
     | b -> Error (`Msg (Printf.sprintf "unknown backend %S (ft | sc | it)" b))
 
@@ -68,6 +69,7 @@ type compile_request = {
   window : int;
   lint : Lint.Diag.level;
   verify : bool;
+  analyze : bool;
   params : (string * float) list;
 }
 
@@ -85,8 +87,10 @@ type wire_error = {
 
 let compile_request ?(name = "program") ?(backend = "ft") ?(device = "manhattan")
     ?(schedule = Config.Gco) ?(window = Config.default_window)
-    ?(lint = Lint.Diag.Off) ?(verify = true) ?(params = []) source =
-  Compile { name; source; backend; device; schedule; window; lint; verify; params }
+    ?(lint = Lint.Diag.Off) ?(verify = true) ?(analyze = false) ?(params = [])
+    source =
+  Compile
+    { name; source; backend; device; schedule; window; lint; verify; analyze; params }
 
 (* Optional-field accessors: absent means default, present-but-wrong is
    a [bad_request], never a silent fallback. *)
@@ -143,8 +147,11 @@ let compile_of_json obj =
   let* lint_s = str_field obj "lint" "off" in
   let* lint = Lint.Diag.level_of_string lint_s in
   let* verify = bool_field obj "verify" true in
+  let* analyze = bool_field obj "analyze" false in
   let* params = params_field obj in
-  Ok (Compile { name; source; backend; device; schedule; window; lint; verify; params })
+  Ok
+    (Compile
+       { name; source; backend; device; schedule; window; lint; verify; analyze; params })
 
 let request_of_line line =
   match Json.parse line with
@@ -185,6 +192,7 @@ let request_to_json ~id request =
         "window", Json.Int r.window;
         "lint", Json.String (Lint.Diag.level_to_string r.lint);
         "verify", Json.Bool r.verify;
+        "analyze", Json.Bool r.analyze;
         ( "params",
           Json.Obj (List.map (fun (k, v) -> k, Json.Float v) r.params) );
       ]

@@ -62,13 +62,17 @@ val config_name :
 
 (** Resolve (backend, device, schedule, lint, window) to a compiler
     configuration; [Error] on an unknown backend/device or a
-    non-positive window. *)
+    non-positive window.  [?analyze] / [?gap_threshold] forward to the
+    [Config] constructors (defaults: analyzer off). *)
 val config_for :
+  ?analyze:bool ->
+  ?gap_threshold:float ->
   backend:string ->
   device:string ->
   schedule:Config.schedule ->
   lint:Lint.Diag.level ->
   window:int ->
+  unit ->
   (Config.t, [ `Msg of string ]) result
 
 (** {1 Requests} *)
@@ -82,6 +86,9 @@ type compile_request = {
   window : int;
   lint : Lint.Diag.level;
   verify : bool;  (** certify with the Pauli-frame verifier (default) *)
+  analyze : bool;  (** run the static analyzer inside the compile
+                       (default [false]); bounds and gap diagnostics
+                       ride in the record's trace *)
   params : (string * float) list;  (** parser environment *)
 }
 
@@ -107,7 +114,7 @@ val request_of_line : string -> (Ph_json.t * request, wire_error) result
 val request_to_json : id:Ph_json.t -> request -> Ph_json.t
 val compile_request : ?name:string -> ?backend:string -> ?device:string ->
   ?schedule:Config.schedule -> ?window:int -> ?lint:Lint.Diag.level ->
-  ?verify:bool -> ?params:(string * float) list -> string -> request
+  ?verify:bool -> ?analyze:bool -> ?params:(string * float) list -> string -> request
 
 (** {1 Responses} *)
 

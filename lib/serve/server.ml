@@ -34,6 +34,13 @@ let config ?(jobs = 1) ?(max_queue = 64) ?(max_line = Protocol.default_max_line)
     ?cache ?(log = ignore) address =
   { address; jobs; max_queue; max_line; cache; log }
 
+(* Running geomean accumulator for one optimality-gap metric: count of
+   compiles that had a nonzero floor and the sum of log gap ratios. *)
+type gap_agg = {
+  mutable gap_n : int;
+  mutable gap_log : float;
+}
+
 (* Aggregated per-stage compile times (from [Report.trace]) across every
    job this daemon compiled — the `stats` request's timing block. *)
 type stage_totals = {
@@ -44,6 +51,11 @@ type stage_totals = {
   mutable agg_swap_s : float;
   mutable agg_peephole_s : float;
   mutable agg_lint_s : float;
+  mutable agg_analyzed : int;  (** compiles that carried an analysis *)
+  agg_gap_depth : gap_agg;
+  agg_gap_cnot : gap_agg;
+  agg_gap_single : gap_agg;
+  agg_gap_total : gap_agg;
 }
 
 type counters = {
@@ -183,7 +195,22 @@ let note_compiled t (record : Report.record) =
   tot.agg_synthesis_s <- tot.agg_synthesis_s +. tr.Report.synthesis_s;
   tot.agg_swap_s <- tot.agg_swap_s +. tr.Report.swap_decompose_s;
   tot.agg_peephole_s <- tot.agg_peephole_s +. tr.Report.peephole_s;
-  tot.agg_lint_s <- tot.agg_lint_s +. tr.Report.lint_s
+  tot.agg_lint_s <- tot.agg_lint_s +. tr.Report.lint_s;
+  match tr.Report.analysis with
+  | None -> ()
+  | Some s ->
+    tot.agg_analyzed <- tot.agg_analyzed + 1;
+    let fold agg = function
+      | None -> ()
+      | Some g when g > 0. ->
+        agg.gap_n <- agg.gap_n + 1;
+        agg.gap_log <- agg.gap_log +. log g
+      | Some _ -> ()
+    in
+    fold tot.agg_gap_depth s.Ph_analysis.Gap.gap_depth;
+    fold tot.agg_gap_cnot s.Ph_analysis.Gap.gap_cnot;
+    fold tot.agg_gap_single s.Ph_analysis.Gap.gap_single;
+    fold tot.agg_gap_total s.Ph_analysis.Gap.gap_total
 
 let respond_compile t ~id (req : Protocol.compile_request) =
   match Parser.parse ~params:req.Protocol.params req.Protocol.source with
@@ -195,9 +222,10 @@ let respond_compile t ~id (req : Protocol.compile_request) =
     Protocol.error ~id ~code:"parse" (Printexc.to_string e)
   | program -> (
     match
-      Protocol.config_for ~backend:req.Protocol.backend
-        ~device:req.Protocol.device ~schedule:req.Protocol.schedule
-        ~lint:req.Protocol.lint ~window:req.Protocol.window
+      Protocol.config_for ~analyze:req.Protocol.analyze
+        ~backend:req.Protocol.backend ~device:req.Protocol.device
+        ~schedule:req.Protocol.schedule ~lint:req.Protocol.lint
+        ~window:req.Protocol.window ()
     with
     | Error (`Msg m) ->
       locked t (fun () -> t.counters.c_rejected <- t.counters.c_rejected + 1);
@@ -326,6 +354,20 @@ let stats_json t =
                 "swap_decompose_s", Json.Float tot.agg_swap_s;
                 "peephole_s", Json.Float tot.agg_peephole_s;
                 "lint_s", Json.Float tot.agg_lint_s;
+              ] );
+          (* optimality-gap geomeans over every analyzed compile *)
+          ( "analysis",
+            let geo agg =
+              if agg.gap_n = 0 then Json.Null
+              else Json.Float (exp (agg.gap_log /. float_of_int agg.gap_n))
+            in
+            Json.Obj
+              [
+                "analyzed", Json.Int tot.agg_analyzed;
+                "gap_depth_geomean", geo tot.agg_gap_depth;
+                "gap_cnot_geomean", geo tot.agg_gap_cnot;
+                "gap_single_geomean", geo tot.agg_gap_single;
+                "gap_total_geomean", geo tot.agg_gap_total;
               ] );
           (* process-wide work-counter totals summed over all domains
              (worker pool + reader threads); monotone but racy reads,
@@ -525,6 +567,11 @@ let start cfg =
           agg_swap_s = 0.;
           agg_peephole_s = 0.;
           agg_lint_s = 0.;
+          agg_analyzed = 0;
+          agg_gap_depth = { gap_n = 0; gap_log = 0. };
+          agg_gap_cnot = { gap_n = 0; gap_log = 0. };
+          agg_gap_single = { gap_n = 0; gap_log = 0. };
+          agg_gap_total = { gap_n = 0; gap_log = 0. };
         };
       started_at = Unix.gettimeofday ();
       accept_thread = None;

@@ -130,9 +130,17 @@ let tree_depths parents root =
    gate lies on a tree edge of the coupling map. *)
 let emit_string_on_tree builder layout parents root ~swap_count ~phys_ops ~theta =
   let depth = tree_depths parents root in
+  (* explicitly ordered walk rather than an unordered table fold:
+     holder order must be a pure function of the tree, independent of
+     hash-bucket layout (tools/check_determinism.sh bans unordered
+     table iteration here) *)
   let holders =
-    Hashtbl.fold (fun p op acc -> (p, op) :: acc) phys_ops []
-    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare depth.(a) depth.(b))
+    List.filter_map
+      (fun p ->
+        Option.map (fun op -> p, op) (Hashtbl.find_opt phys_ops p))
+      (List.init (Array.length parents) Fun.id)
+    |> List.sort (fun (a, _) (b, _) ->
+           Stdlib.compare (depth.(a), a) (depth.(b), b))
   in
   (match holders with
   | (r, _) :: _ when r <> root ->

@@ -60,6 +60,27 @@ let swapped_layout () =
   Layout.swap_physical l 0 1;
   l
 
+(* analyzer triggers: a 3-rotation program whose floors are known by
+   hand (V = 3, S₂ = 1 so cnot ≥ 2, single ≥ 3, qubit 0 carries all
+   three rotations so depth ≥ 3) *)
+let ana_program () =
+  Program.make 2 [ block [ "XX", 1.0 ]; block [ "ZZ", 1.0 ]; block [ "XY", 1.0 ] ]
+
+let ana_gap ~threshold ~cnot ~single ~total ~depth () =
+  Analysis.Gap.diagnose ~threshold
+    (Analysis.Gap.summarize ~cnot ~single ~total ~depth
+       (Analysis.Bounds.of_program (ana_program ())))
+
+let ana_cert () =
+  let prog = ana_program () in
+  let out = Compiler.compile (Config.ft ()) prog in
+  prog, out.Compiler.certificate
+
+let tamper_layer f (c : Analysis.Certificate.t) =
+  match c.Analysis.Certificate.layers with
+  | l :: rest -> { c with Analysis.Certificate.layers = f l :: rest }
+  | [] -> c
+
 let triggers : (string * (unit -> Diag.t list)) list =
   [
     "PIR001", (fun () -> Check_ir.blocks ~n_qubits:2 [ block [ "XX", Float.nan ] ]);
@@ -131,6 +152,60 @@ let triggers : (string * (unit -> Diag.t list)) list =
         Check_config.check
           ~backend:(Check_config.Sc_view (Coupling.create 4 [ 0, 1; 2, 3 ]))
           ~peephole:true );
+    "ANA001", (fun () -> ana_gap ~threshold:8. ~cnot:4 ~single:3 ~total:7 ~depth:3 ());
+    "ANA002", (fun () -> ana_gap ~threshold:8. ~cnot:4 ~single:3 ~total:7 ~depth:3 ());
+    (* tiny threshold: a 2x cnot gap becomes a warning *)
+    "ANA003", (fun () -> ana_gap ~threshold:0.5 ~cnot:4 ~single:3 ~total:7 ~depth:3 ());
+    (* claimed depth below the static floor: unsound bound or miscount *)
+    "ANA004", (fun () -> ana_gap ~threshold:8. ~cnot:4 ~single:3 ~total:7 ~depth:1 ());
+    ( "ANA010",
+      fun () ->
+        let prog, cert = ana_cert () in
+        Analysis.Certificate.check ~program:prog
+          { cert with Analysis.Certificate.n_qubits = cert.Analysis.Certificate.n_qubits + 1 }
+    );
+    ( "ANA011",
+      fun () ->
+        (* first layer's digests replaced wholesale: the block multiset
+           no longer matches the program *)
+        let prog, cert = ana_cert () in
+        let bogus = String.make 32 '0' in
+        Analysis.Certificate.check ~program:prog
+          (tamper_layer
+             (fun l ->
+               { l with
+                 Analysis.Certificate.leader_digest = bogus;
+                 block_digests = [ bogus ];
+               })
+             cert) );
+    ( "ANA012",
+      fun () ->
+        (* edited layer leader: no longer the first block of the layer *)
+        let prog, cert = ana_cert () in
+        Analysis.Certificate.check ~program:prog
+          (tamper_layer
+             (fun l ->
+               { l with Analysis.Certificate.leader_digest = String.make 32 'f' })
+             cert) );
+    ( "ANA013",
+      fun () ->
+        (* hand-built layer whose padding shares qubit 0 with the leader *)
+        let a = block [ "XI", 1.0 ] and b = block [ "ZI", 1.0 ] in
+        let cert =
+          Analysis.Certificate.build ~n_qubits:2 ~cnot:0 ~single:2 ~depth:2
+            [ [ a; b ] ]
+        in
+        Analysis.Certificate.check ~program:(Program.make 2 [ a; b ]) cert );
+    ( "ANA014",
+      fun () ->
+        (* inflated cost accounting vs the compiled metrics *)
+        let prog, cert = ana_cert () in
+        Analysis.Certificate.check ~program:prog
+          ~metrics:
+            ( cert.Analysis.Certificate.cnot + 1,
+              cert.Analysis.Certificate.single,
+              cert.Analysis.Certificate.depth )
+          cert );
   ]
 
 let test_every_known_code_fires () =
