@@ -62,12 +62,22 @@ let write_json path =
    lint-time overhead between two reports. *)
 let lint_enabled = ref false
 let lint_level () = if !lint_enabled then Lint.Diag.Warn else Lint.Diag.Off
-let ph_ft ?schedule prog = Pipelines.ph_ft ?schedule ~lint:(lint_level ()) prog
+
+(* --sched-jobs: intra-compile scan parallelism.  Output-invariant
+   (records are byte-identical at any value), so it participates in no
+   cache fingerprint and needs no per-table plumbing. *)
+let bench_sched_jobs = ref 1
+
+let ph_ft ?schedule prog =
+  Pipelines.ph_ft ?schedule ~lint:(lint_level ())
+    ~sched_jobs:!bench_sched_jobs prog
 
 let ph_sc ?schedule device prog =
-  Pipelines.ph_sc ?schedule ~lint:(lint_level ()) device prog
+  Pipelines.ph_sc ?schedule ~lint:(lint_level ())
+    ~sched_jobs:!bench_sched_jobs device prog
 
-let ph_it prog = Pipelines.ph_it ~lint:(lint_level ()) prog
+let ph_it prog =
+  Pipelines.ph_it ~lint:(lint_level ()) ~sched_jobs:!bench_sched_jobs prog
 
 (* ---------- pooled tables & record cache (--jobs / --cache) ---------- *)
 
@@ -614,6 +624,15 @@ let timing () =
       Test.make ~name:"fig11/ph-REG-n7-d4"
         (stage (fun () -> ignore (ph_sc Devices.melbourne fig11_prog)));
     ]
+    @ (* schedule_s study: the DO scheduler alone over the 64-256 qubit
+         scale suite, no synthesis — the rows the arena rewrite targets *)
+    List.map
+      (fun (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        Test.make ~name:(Printf.sprintf "sched/do-%s" b.Suite.name)
+          (stage (fun () ->
+               ignore (Ph_schedule.Depth_oriented.schedule prog))))
+      (Suite.scale ())
     @ kernel_tests ()
   in
   let test = Test.make_grouped ~name:"paulihedral" ~fmt:"%s %s" tests in
@@ -886,6 +905,35 @@ let serve_bench ~clients ~rps ~duration filters =
      then 0
      else 1)
 
+(* ---------- scale: the scheduler-scaling study ---------- *)
+
+(* DO compiles of the 64-256 qubit scale suite (FT backend), with the
+   scheduling stage's wall time broken out — the table the schedule_s
+   speedup target is measured on. *)
+let scale_table filters =
+  header "Scale: DO scheduling at 64-256 qubits (FT backend)"
+    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "sched(s)" ];
+  ignore
+  @@ pooled
+       (List.filter (wanted filters) (Suite.scale ()))
+       (fun (b : Suite.t) ->
+         let prog = b.Suite.generate () in
+         let ph =
+           cached ~bench:b.Suite.name ~config:"scale/PH"
+             ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
+             prog
+             (fun () -> ph_ft ~schedule:Config.Depth_oriented prog)
+         in
+         ( [ ph ],
+           [
+             ( b.Suite.name,
+               (cell_checked ph "PH" :: cell_cols ph)
+               @ [
+                   Printf.sprintf "%.3f"
+                     ph.c_record.Report.trace.Report.schedule_s;
+                 ] );
+           ] ))
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -898,19 +946,20 @@ let experiments =
     "table4-bc", table4_bc;
     "fig11", fig11;
     "ablation", ablation;
+    "scale", scale_table;
   ]
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|timing] [benchmark names...] [--json FILE] [--lint] [--jobs N] [--cache DIR]\n\
+    "usage: main.exe [table1|table2-sc|table2-ft|table3|table4-sched|table4-bc|fig11|ablation|scale|timing] [benchmark names...] [--json FILE] [--lint] [--jobs N] [--sched-jobs N] [--cache DIR]\n\
     \       main.exe compare A.json B.json [--fail-on-regression PCT]\n\
     \       main.exe fuzz [CASES] [SEED]\n\
     \       main.exe serve [benchmark names...] [--clients N] [--rps R] [--duration S] [--jobs N] [--cache DIR]\n\
-    \       main.exe history record --commit LABEL [--db FILE] [--suite ft|sc|all] [--jobs N]\n\
+    \       main.exe history record --commit LABEL [--db FILE] [--suite ft|sc|scale|all] [--jobs N]\n\
     \       main.exe history import FILE.json --commit LABEL [--db FILE]\n\
     \       main.exe history show [--db FILE] [--counter NAME] [--last N]\n\
     \       main.exe history compare A B [--db FILE]   (commit labels or .json reports)\n\
-    \       main.exe history gate [--db FILE] [--candidate FILE.csv] [--against LABEL] [--suite ft|sc|all] [--threshold PCT]";
+    \       main.exe history gate [--db FILE] [--candidate FILE.csv] [--against LABEL] [--suite ft|sc|scale|all] [--threshold PCT]";
   exit 1
 
 (* ---------- history: per-commit deterministic counter db ---------- *)
@@ -935,11 +984,13 @@ let default_db = "perf/history.csv"
 let history_records suite =
   let ft () = List.map (fun b -> `Ft b) (Suite.ft ()) in
   let sc () = List.map (fun b -> `Sc b) (Suite.sc ()) in
+  let scale () = List.map (fun b -> `Scale b) (Suite.scale ()) in
   let items =
     match suite with
     | "ft" -> ft ()
     | "sc" -> sc ()
-    | "all" -> ft () @ sc ()
+    | "scale" -> scale ()
+    | "all" -> ft () @ sc () @ scale ()
     | _ -> usage ()
   in
   Ph_pool.Pool.map ~jobs:!bench_jobs
@@ -956,6 +1007,12 @@ let history_records suite =
         analyzed_record prog
           (cell ~bench:b.Suite.name ~config:"table2-sc/PH" prog
              (ph_sc sc_device prog))
+            .c_record
+      | `Scale (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        analyzed_record prog
+          (cell ~bench:b.Suite.name ~config:"scale/PH" prog
+             (ph_ft ~schedule:Config.Depth_oriented prog))
             .c_record)
     items
   |> List.map (function Stdlib.Ok r -> r | Stdlib.Error e -> raise e)
@@ -1156,6 +1213,13 @@ let () =
   | Some s ->
     (match int_of_string_opt s with
     | Some n when n >= 1 -> bench_jobs := n
+    | _ -> usage ())
+  | None -> ());
+  let sched_jobs, args = extract_opt "--sched-jobs" [] args in
+  (match sched_jobs with
+  | Some s ->
+    (match int_of_string_opt s with
+    | Some n when n >= 1 -> bench_sched_jobs := n
     | _ -> usage ())
   | None -> ());
   let cache_dir, args = extract_opt "--cache" [] args in

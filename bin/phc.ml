@@ -36,10 +36,11 @@ let schedule_of = Ph_serve.Protocol.schedule_of_string
 let config_name backend device schedule =
   Ph_serve.Protocol.config_name ~backend ~device ~schedule
 
-let config_for ?analyze ?gap_threshold ~backend ~device ~schedule ~lint ~window () =
+let config_for ?analyze ?gap_threshold ?sched_jobs ~backend ~device ~schedule
+    ~lint ~window () =
   match
-    Ph_serve.Protocol.config_for ?analyze ?gap_threshold ~backend ~device
-      ~schedule ~lint ~window ()
+    Ph_serve.Protocol.config_for ?analyze ?gap_threshold ?sched_jobs ~backend
+      ~device ~schedule ~lint ~window ()
   with
   | Ok config -> config
   | Error (`Msg m) -> failwith m
@@ -51,15 +52,15 @@ let report_lint ~lint (out : Compiler.output) =
   List.iter (fun d -> prerr_endline (Lint.Diag.to_string d)) diags;
   lint = Lint.Diag.Error_level && Compiler.lint_errors out <> []
 
-let run file backend device schedule window params print_circuit no_verify lint json
-    normalize output analyze gap_threshold cert_out =
+let run file backend device schedule window sched_jobs params print_circuit
+    no_verify lint json normalize output analyze gap_threshold cert_out =
   match
     let source = read_file file in
     let program = Ph_pauli_ir.Parser.parse ~params source in
     let out =
       Compiler.compile
-        (config_for ~analyze ~gap_threshold ~backend ~device ~schedule ~lint
-           ~window ())
+        (config_for ~analyze ~gap_threshold ~sched_jobs ~backend ~device
+           ~schedule ~lint ~window ())
         program
     in
     Ok (program, out)
@@ -170,6 +171,13 @@ let window_arg =
                leader/padding/chaining step considers at most $(docv) live \
                candidate blocks.  Recorded in the report trace as sched_window.")
 
+let sched_jobs_arg =
+  Arg.(value & opt int 1 & info [ "sched-jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the schedulers' candidate scans within one \
+               compile (do, maxov).  Output-invariant: schedules, metrics and \
+               perf counters are byte-identical at any value, so records can \
+               be diffed across settings; does not affect cache keys.")
+
 let param_conv =
   Arg.conv ((fun s -> parse_param s), fun fmt (n, v) -> Format.fprintf fmt "%s=%g" n v)
 
@@ -240,8 +248,9 @@ let cert_arg =
 let compile_term =
   Term.(
     const run $ file_arg $ backend_arg $ device_arg $ schedule_arg $ window_arg
-    $ params_arg $ print_circuit_arg $ no_verify_arg $ lint_arg $ json_arg
-    $ normalize_arg $ output_arg $ analyze_arg $ gap_threshold_arg $ cert_arg)
+    $ sched_jobs_arg $ params_arg $ print_circuit_arg $ no_verify_arg $ lint_arg
+    $ json_arg $ normalize_arg $ output_arg $ analyze_arg $ gap_threshold_arg
+    $ cert_arg)
 
 let compile_cmd =
   Cmd.v
@@ -254,13 +263,14 @@ let pp_metrics_no_time (m : Report.metrics) =
   Printf.sprintf "cnot=%d single=%d total=%d depth=%d" m.Report.cnot
     m.Report.single m.Report.total m.Report.depth
 
-let run_batch files backend device schedule window params lint jobs cache_dir
-    no_verify timings json_out =
+let run_batch files backend device schedule window sched_jobs params lint jobs
+    cache_dir no_verify timings json_out =
   match
     if files = [] then Error (`Msg "batch: no input files")
     else if jobs < 1 then Error (`Msg "batch: --jobs must be positive")
     else
-      try Ok (config_for ~backend ~device ~schedule ~lint ~window ())
+      try
+        Ok (config_for ~sched_jobs ~backend ~device ~schedule ~lint ~window ())
       with Failure m -> Error (`Msg m)
   with
   | Error (`Msg m) ->
@@ -378,8 +388,9 @@ let batch_cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run_batch $ batch_files_arg $ backend_arg $ device_arg
-      $ schedule_arg $ window_arg $ params_arg $ lint_arg $ jobs_arg
-      $ cache_arg $ no_verify_arg $ batch_timings_arg $ batch_json_arg)
+      $ schedule_arg $ window_arg $ sched_jobs_arg $ params_arg $ lint_arg
+      $ jobs_arg $ cache_arg $ no_verify_arg $ batch_timings_arg
+      $ batch_json_arg)
 
 (* ---------- phc lint: verify-each over the whole pipeline ---------- *)
 
@@ -718,8 +729,8 @@ let serve_cmd =
 
 (* ---------- phc bomb: load generator against a daemon ---------- *)
 
-let run_bomb files socket host port backend device schedule window params lint
-    no_verify clients rps duration save_dir =
+let run_bomb files socket host port backend device schedule window sched_jobs
+    params lint no_verify clients rps duration save_dir =
   match
     if files = [] then Error "bomb: no input files"
     else if clients < 1 then Error "bomb: --clients must be positive"
@@ -732,7 +743,7 @@ let run_bomb files socket host port backend device schedule window params lint
                Ph_serve.Bomb.workload ~name:(Filename.basename file)
                  (Ph_serve.Protocol.compile_request
                     ~name:(Filename.basename file) ~backend ~device ~schedule
-                    ~window ~lint ~verify:(not no_verify) ~params
+                    ~window ~sched_jobs ~lint ~verify:(not no_verify) ~params
                     (read_file file)))
              files)
       with Sys_error m -> Error m
@@ -790,9 +801,9 @@ let bomb_cmd =
   Cmd.v (Cmd.info "bomb" ~doc)
     Term.(
       const run_bomb $ batch_files_arg $ socket_arg $ host_arg $ port_arg
-      $ backend_arg $ device_arg $ schedule_arg $ window_arg $ params_arg
-      $ lint_arg $ no_verify_arg $ clients_arg $ rps_arg $ duration_arg
-      $ save_arg)
+      $ backend_arg $ device_arg $ schedule_arg $ window_arg $ sched_jobs_arg
+      $ params_arg $ lint_arg $ no_verify_arg $ clients_arg $ rps_arg
+      $ duration_arg $ save_arg)
 
 let cmd =
   let doc = "compile quantum simulation kernels with Paulihedral" in

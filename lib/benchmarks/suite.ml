@@ -121,6 +121,37 @@ let ft ?(full = false) () =
     ]
   @ List.map (random_h ~full) (if full then [ 30; 40; 50; 60; 70; 80 ] else [ 30; 40; 50 ])
 
+(* Scheduler-scaling workloads (the schedule_s study): UCCSD and random
+   Hamiltonians at 64–256 qubits, FT backend (the SC devices top out at
+   65 qubits).  String counts are capped so the suite stresses the
+   scheduler's block count and width, not synthesis volume: UCCSD keeps
+   ~600 singles + ~600 doubles; Random keeps ~1000 strings
+   (density·n² with density = 1000/n²). *)
+let scale_uccsd n =
+  {
+    name = Printf.sprintf "UCCSD-%d" n;
+    category = "Scale";
+    backend = FT;
+    generate =
+      (fun () ->
+        Uccsd.ansatz ~max_singles:600 ~max_doubles:600 ~n_qubits:n ());
+  }
+
+let scale_random n =
+  {
+    name = Printf.sprintf "Rand-%d" n;
+    category = "Scale";
+    backend = FT;
+    generate =
+      (fun () ->
+        Random_h.program ~seed:(300 + n)
+          ~density:(1000.0 /. float_of_int (n * n))
+          ~n_qubits:n ());
+  }
+
+let scale () =
+  List.map scale_uccsd [ 64; 128; 256 ] @ List.map scale_random [ 64; 128; 256 ]
+
 let all ?full () = sc ?full () @ ft ?full ()
 
 let find ?full name = List.find (fun b -> b.name = name) (all ?full ())

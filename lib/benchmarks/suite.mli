@@ -22,6 +22,12 @@ val all : ?full:bool -> unit -> t list
 val sc : ?full:bool -> unit -> t list
 val ft : ?full:bool -> unit -> t list
 
+(** Scheduler-scaling workloads (not part of the paper's 31): UCCSD and
+    random Hamiltonians at 64/128/256 qubits on the FT backend, string
+    counts capped so scheduling — not synthesis — dominates.  Drives the
+    [schedule_s] study and the pr9+ perf-history rows. *)
+val scale : unit -> t list
+
 (** Look up by Table-1 name (e.g. ["UCCSD-12"], ["Rand-20-0.3"],
     ["Heisen-2D"], ["NaCl"]).
     @raise Not_found on unknown names. *)

@@ -45,38 +45,43 @@ let singles_list n_qubits =
 let excitation_counts ~n_qubits =
   List.length (singles_list n_qubits), List.length (doubles_list n_qubits)
 
-let ansatz ?(seed = 23) ?max_doubles ~n_qubits () =
+(* Seeded subsample of [cap] elements, keeping list order; draws come
+   from [rand] so the kept set is a pure function of (seed, n_qubits,
+   cap). *)
+let subsample rand cap all =
+  match cap with
+  | None -> all
+  | Some k when k >= List.length all -> all
+  | Some k ->
+    let m = List.length all in
+    let chosen = Array.make m false in
+    let remaining = ref k in
+    while !remaining > 0 do
+      let i = Random.State.int rand m in
+      if not chosen.(i) then begin
+        chosen.(i) <- true;
+        decr remaining
+      end
+    done;
+    List.filteri (fun i _ -> chosen.(i)) all
+
+let ansatz ?(seed = 23) ?max_singles ?max_doubles ~n_qubits () =
   if n_qubits <= 0 || n_qubits mod 4 <> 0 then
     invalid_arg "Uccsd.ansatz: n_qubits must be a positive multiple of 4";
   let rand = Random.State.make [| seed; n_qubits |] in
   let theta () = 0.05 +. Random.State.float rand 0.4 in
-  let doubles =
-    let all = doubles_list n_qubits in
-    match max_doubles with
-    | None -> all
-    | Some k when k >= List.length all -> all
-    | Some k ->
-      (* Seeded subsample, keeping order. *)
-      let arr = Array.of_list all in
-      let m = Array.length arr in
-      let chosen = Array.make m false in
-      let remaining = ref k in
-      while !remaining > 0 do
-        let i = Random.State.int rand m in
-        if not chosen.(i) then begin
-          chosen.(i) <- true;
-          decr remaining
-        end
-      done;
-      List.filteri (fun i _ -> chosen.(i)) all
-  in
+  (* Subsample order matters for seed stability: doubles consume [rand]
+     first, exactly as before [max_singles] existed, so programs capped
+     only on doubles are unchanged. *)
+  let doubles = subsample rand max_doubles (doubles_list n_qubits) in
+  let singles = subsample rand max_singles (singles_list n_qubits) in
   let blocks =
     List.mapi
       (fun k (i, a) ->
         Block.make
           (Jordan_wigner.single_excitation ~n:n_qubits i a (theta ()))
           (Block.symbolic (Printf.sprintf "t%d" k) 1.0))
-      (singles_list n_qubits)
+      singles
     @ List.mapi
         (fun k exc ->
           Block.make

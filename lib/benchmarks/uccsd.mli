@@ -9,10 +9,17 @@
 open Ph_pauli_ir
 
 (** [ansatz ~n_qubits ()] — [n_qubits] must be a positive multiple of 4.
-    [max_doubles] subsamples the double excitations (seeded) for scaled
-    benchmark runs.
+    [max_singles] / [max_doubles] subsample the excitations (seeded) for
+    scaled benchmark runs; capping only the doubles leaves the program
+    identical to what it was before [max_singles] existed.
     @raise Invalid_argument on bad sizes. *)
-val ansatz : ?seed:int -> ?max_doubles:int -> n_qubits:int -> unit -> Program.t
+val ansatz :
+  ?seed:int ->
+  ?max_singles:int ->
+  ?max_doubles:int ->
+  n_qubits:int ->
+  unit ->
+  Program.t
 
 (** Number of (singles, doubles) excitations at a given size. *)
 val excitation_counts : n_qubits:int -> int * int

@@ -19,6 +19,7 @@ let lint_errors o = Ph_lint.Diag.errors o.trace.Report.lint
 
 let schedule_layers config prog =
   let window = config.Config.window in
+  let jobs = config.Config.sched_jobs in
   match config.Config.schedule with
   | Config.Program_order ->
     let layers = List.map Layer.of_block (Program.blocks prog) in
@@ -27,10 +28,10 @@ let schedule_layers config prog =
     let layers = Gco.schedule prog in
     layers, (List.length layers, 0)
   | Config.Depth_oriented ->
-    let layers, stats = Depth_oriented.schedule_stats ~window prog in
+    let layers, stats = Depth_oriented.schedule_stats ~window ~jobs prog in
     layers, (stats.Depth_oriented.layers, stats.Depth_oriented.padded)
   | Config.Max_overlap ->
-    let layers = Max_overlap.schedule ~window prog in
+    let layers = Max_overlap.schedule ~window ~jobs prog in
     layers, (List.length layers, 0)
 
 (* Accumulator for the verify-each checkers: when linting is enabled,
@@ -268,8 +269,8 @@ let compile config prog =
     certificate;
   }
 
-let compile_ft ?schedule ?lint ?window prog =
-  compile (Config.ft ?schedule ?lint ?window ()) prog
+let compile_ft ?schedule ?lint ?window ?sched_jobs prog =
+  compile (Config.ft ?schedule ?lint ?window ?sched_jobs ()) prog
 
-let compile_sc ?schedule ?noise ?lint ?window ~coupling prog =
-  compile (Config.sc ?schedule ?noise ?lint ?window coupling) prog
+let compile_sc ?schedule ?noise ?lint ?window ?sched_jobs ~coupling prog =
+  compile (Config.sc ?schedule ?noise ?lint ?window ?sched_jobs coupling) prog

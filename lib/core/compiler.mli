@@ -47,6 +47,7 @@ val compile_ft :
   ?schedule:Config.schedule ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?sched_jobs:int ->
   Program.t ->
   output
 
@@ -56,6 +57,7 @@ val compile_sc :
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?sched_jobs:int ->
   coupling:Coupling.t ->
   Program.t ->
   output

@@ -15,18 +15,29 @@ type t = {
   window : int;
   analyze : bool;
   gap_threshold : float;
+  sched_jobs : int;
 }
 
 let default_window = Ph_schedule.Depth_oriented.default_window
 let default_gap_threshold = 8.
 
 let ft ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
-    ?(analyze = false) ?(gap_threshold = default_gap_threshold) () =
-  { schedule; backend = Ft; peephole = true; lint; window; analyze; gap_threshold }
+    ?(analyze = false) ?(gap_threshold = default_gap_threshold)
+    ?(sched_jobs = 1) () =
+  {
+    schedule;
+    backend = Ft;
+    peephole = true;
+    lint;
+    window;
+    analyze;
+    gap_threshold;
+    sched_jobs;
+  }
 
 let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
     ?(window = default_window) ?(analyze = false)
-    ?(gap_threshold = default_gap_threshold) coupling =
+    ?(gap_threshold = default_gap_threshold) ?(sched_jobs = 1) coupling =
   {
     schedule;
     backend = Sc { coupling; noise };
@@ -35,6 +46,7 @@ let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
     window;
     analyze;
     gap_threshold;
+    sched_jobs;
   }
 
 (* The ion-trap backend's native lowering interleaves its own cleanup,
@@ -42,7 +54,8 @@ let sc ?(schedule = Depth_oriented) ?noise ?(lint = Ph_lint.Diag.Off)
    it; the default must say so (the linter's CFG001 flags a config that
    claims otherwise). *)
 let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_window)
-    ?(analyze = false) ?(gap_threshold = default_gap_threshold) () =
+    ?(analyze = false) ?(gap_threshold = default_gap_threshold)
+    ?(sched_jobs = 1) () =
   {
     schedule;
     backend = Ion_trap;
@@ -51,6 +64,7 @@ let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_win
     window;
     analyze;
     gap_threshold;
+    sched_jobs;
   }
 
 (* ---------- stable fingerprints (compile-cache keys) ---------- *)
@@ -58,7 +72,7 @@ let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_win
 (* Bump whenever any pass can change its output for an unchanged
    (program, config) pair — the tag is part of every cache key, so a
    bump invalidates all previously cached compiles. *)
-let version_tag = "paulihedral/7"
+let version_tag = "paulihedral/8"
 
 let schedule_name = function
   | Program_order -> "none"
@@ -78,6 +92,10 @@ let backend_fingerprint = function
          (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges))
       (match noise with None -> "none" | Some _ -> "opaque")
 
+(* [sched_jobs] is deliberately absent from the fingerprint: the arena's
+   parallel argmax is bit-identical to the sequential scan at any job
+   count (see [Ph_schedule.Arena]), so compiles at different
+   [--sched-jobs] share cache entries. *)
 let fingerprint t =
   Printf.sprintf
     "v=%s;schedule=%s;backend=%s;peephole=%b;lint=%s;window=%d;analyze=%b;gap=%s"

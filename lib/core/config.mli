@@ -45,6 +45,13 @@ type t = {
   gap_threshold : float;
       (** Achieved/floor ratio above which the analyzer's ANA003
           warning fires; default {!default_gap_threshold}. *)
+  sched_jobs : int;
+      (** Worker domains for the schedulers' candidate scans within one
+          compile ([Ph_schedule.Arena.argmax] over [Ph_exec.Team];
+          default 1 = sequential).  Output-invariant: schedules,
+          metrics, and perf counters are bit-identical at any value, so
+          it is excluded from {!fingerprint} and compiles at different
+          settings share cache entries. *)
 }
 
 (** The schedulers' shared default scan window
@@ -64,6 +71,7 @@ val ft :
   ?window:int ->
   ?analyze:bool ->
   ?gap_threshold:float ->
+  ?sched_jobs:int ->
   unit ->
   t
 
@@ -75,6 +83,7 @@ val sc :
   ?window:int ->
   ?analyze:bool ->
   ?gap_threshold:float ->
+  ?sched_jobs:int ->
   Coupling.t ->
   t
 
@@ -87,6 +96,7 @@ val ion_trap :
   ?window:int ->
   ?analyze:bool ->
   ?gap_threshold:float ->
+  ?sched_jobs:int ->
   unit ->
   t
 

@@ -23,14 +23,18 @@ let of_output (o : Compiler.output) =
     trace = o.trace;
   }
 
-let ph_ft ?schedule ?lint ?window prog =
-  of_output (Compiler.compile_ft ?schedule ?lint ?window prog)
+let ph_ft ?schedule ?lint ?window ?sched_jobs prog =
+  of_output (Compiler.compile_ft ?schedule ?lint ?window ?sched_jobs prog)
 
-let ph_sc ?schedule ?noise ?lint ?window coupling prog =
-  of_output (Compiler.compile_sc ?schedule ?noise ?lint ?window ~coupling prog)
+let ph_sc ?schedule ?noise ?lint ?window ?sched_jobs coupling prog =
+  of_output
+    (Compiler.compile_sc ?schedule ?noise ?lint ?window ?sched_jobs ~coupling
+       prog)
 
-let ph_it ?schedule ?lint ?window prog =
-  of_output (Compiler.compile (Config.ion_trap ?schedule ?lint ?window ()) prog)
+let ph_it ?schedule ?lint ?window ?sched_jobs prog =
+  of_output
+    (Compiler.compile (Config.ion_trap ?schedule ?lint ?window ?sched_jobs ())
+       prog)
 
 (* Trace of a baseline stage: synthesis + peephole only (plus SWAP
    decomposition on SC); scheduling counters stay zero. *)

@@ -26,6 +26,7 @@ val ph_ft :
   ?schedule:Config.schedule ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?sched_jobs:int ->
   Program.t ->
   run
 
@@ -35,6 +36,7 @@ val ph_sc :
   ?noise:Noise_model.t ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?sched_jobs:int ->
   Coupling.t ->
   Program.t ->
   run
@@ -45,6 +47,7 @@ val ph_it :
   ?schedule:Config.schedule ->
   ?lint:Ph_lint.Diag.level ->
   ?window:int ->
+  ?sched_jobs:int ->
   Program.t ->
   run
 

@@ -56,14 +56,20 @@ let single_qubit_count c =
 
 let total_count c = cnot_count c + single_qubit_count c
 
+(* The frontier walk allocates nothing per gate: [Gate.iter_qubits]
+   replaces the qubit-list build, and the scan/store closures are
+   hoisted out of the gate loop. *)
 let depth c =
   let frontier = Array.make (max 1 c.n_qubits) 0 in
+  let level = ref 0 in
+  let scan q = if frontier.(q) > !level then level := frontier.(q) in
+  let store q = frontier.(q) <- !level in
   Array.iter
     (fun g ->
-      let qs = Gate.qubits g in
-      let cost = match g with Gate.Swap _ -> 3 | _ -> 1 in
-      let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs + cost in
-      List.iter (fun q -> frontier.(q) <- level) qs)
+      level := 0;
+      Gate.iter_qubits scan g;
+      level := !level + (match g with Gate.Swap _ -> 3 | _ -> 1);
+      Gate.iter_qubits store g)
     c.gates;
   Array.fold_left max 0 frontier
 
@@ -86,7 +92,8 @@ let dagger c =
 
 let used_qubits c =
   let used = Array.make (max 1 c.n_qubits) false in
-  Array.iter (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g)) c.gates;
+  let mark q = used.(q) <- true in
+  Array.iter (fun g -> Gate.iter_qubits mark g) c.gates;
   List.filter (fun q -> used.(q)) (List.init c.n_qubits Fun.id)
 
 let compact c =
@@ -131,19 +138,33 @@ let unitary c =
   done;
   m
 
+(* Two allocation-light passes replace the old Hashtbl.add/find_all
+   bucketing: first the frontier walk records each gate's level in a
+   flat array, then a backwards fill builds each level's bucket list
+   front-to-back, preserving within-level gate order. *)
 let layers c =
+  let n = Array.length c.gates in
   let frontier = Array.make (max 1 c.n_qubits) 0 in
-  let table = Hashtbl.create 16 in
+  let level_of = Array.make (max 1 n) 0 in
   let max_level = ref 0 in
-  Array.iter
-    (fun g ->
-      let qs = Gate.qubits g in
-      let level = List.fold_left (fun acc q -> max acc frontier.(q)) 0 qs + 1 in
-      List.iter (fun q -> frontier.(q) <- level) qs;
-      max_level := max !max_level level;
-      Hashtbl.add table level g)
+  let level = ref 0 in
+  let scan q = if frontier.(q) > !level then level := frontier.(q) in
+  let store q = frontier.(q) <- !level in
+  Array.iteri
+    (fun i g ->
+      level := 0;
+      Gate.iter_qubits scan g;
+      incr level;
+      Gate.iter_qubits store g;
+      level_of.(i) <- !level;
+      if !level > !max_level then max_level := !level)
     c.gates;
-  List.init !max_level (fun i -> List.rev (Hashtbl.find_all table (i + 1)))
+  let buckets = Array.make (!max_level + 1) [] in
+  for i = n - 1 downto 0 do
+    let l = level_of.(i) in
+    buckets.(l) <- c.gates.(i) :: buckets.(l)
+  done;
+  List.init !max_level (fun i -> buckets.(i + 1))
 
 let pp fmt c =
   Format.fprintf fmt "// %d qubits, %d gates@." c.n_qubits (Array.length c.gates);

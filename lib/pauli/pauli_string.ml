@@ -207,3 +207,13 @@ let disjoint p q =
   go 0
 
 let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let blit_planes p dst_x dst_z pos =
+  let words = Array.length p.x in
+  Array.blit p.x 0 dst_x pos words;
+  Array.blit p.z 0 dst_z pos words
+
+let or_support_words p dst pos =
+  for w = 0 to Array.length p.x - 1 do
+    dst.(pos + w) <- dst.(pos + w) lor (p.x.(w) lor p.z.(w))
+  done

@@ -101,3 +101,18 @@ val shared_support : t -> t -> int list
 val disjoint : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Raw bitplane export for the scheduler's structure-of-arrays arena
+    ([Ph_schedule.Arena]): build-time only, so the arena's inner loops
+    can run over contiguous word arrays without re-deriving strings.
+    [blit_planes p x z pos] copies the plane words ([Bits.words_for n]
+    of them) into [x]/[z] starting at [pos]; [or_support_words p dst
+    pos] ORs the per-word support mask ([x lor z]) into [dst] at
+    [pos]. *)
+val blit_planes : t -> int array -> int array -> int -> unit
+
+val or_support_words : t -> int array -> int -> unit
+
+(**/**)

@@ -54,7 +54,16 @@ let rec last = function [ t ] -> t | _ :: rest -> last rest | [] -> assert false
 let last_term b = last b.terms
 
 let sort_terms_lex ?rank b =
-  { b with terms = List.sort (Pauli_term.compare_lex ?rank) b.terms }
+  let cmp = Pauli_term.compare_lex ?rank in
+  (* Already-sorted fast path: generators frequently emit sorted blocks,
+     and reusing [b] keeps the scheduler's per-block allocation at zero
+     for them.  [List.sort] is [List.stable_sort], so the result is the
+     same list either way. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> cmp a b <= 0 && sorted rest
+    | _ -> true
+  in
+  if sorted b.terms then b else { b with terms = List.sort cmp b.terms }
 
 let with_terms b terms = make terms b.param
 

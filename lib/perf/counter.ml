@@ -27,11 +27,16 @@ let cache_probes = 15
 let cache_hits_mem = 16
 let cache_hits_disk = 17
 let cache_stores = 18
+let sched_par_scans = 19
 
-let n_counters = 19
+let n_counters = 20
 
-(* The [cache_*] group sits at the tail; everything below this index is
-   compile-scoped (deterministic per compile). *)
+(* The [cache_*] group and [sched_par_scans] sit at the tail; everything
+   below this index is compile-scoped (deterministic per compile).
+   [sched_par_scans] counts parallel argmax dispatches, which depend on
+   --sched-jobs and team availability — process telemetry, deliberately
+   outside the compile window so records stay byte-identical across
+   --sched-jobs settings. *)
 let compile_scoped = cache_probes
 
 let names =
@@ -55,6 +60,7 @@ let names =
     "cache_hits_mem";
     "cache_hits_disk";
     "cache_stores";
+    "sched_par_scans";
   |]
 
 let registry : int array list ref = ref []

@@ -75,6 +75,14 @@ val cache_hits_mem : id
 val cache_hits_disk : id
 val cache_stores : id
 
+val sched_par_scans : id
+(** Parallel candidate-scan dispatches ([Ph_schedule.Arena.argmax] runs
+    that actually fanned out over the domain team).  Process-scoped
+    only: the count depends on --sched-jobs and on team availability,
+    so it must never land in a per-compile snapshot — schedules and
+    records are byte-identical across --sched-jobs settings, and this
+    counter is the one place that records the difference. *)
+
 val add : id -> int -> unit
 (** [add id n] increments a counter by [n] on the calling domain. *)
 

@@ -1,133 +1,84 @@
-open Ph_pauli
 open Ph_pauli_ir
 
 (* The argmax / padding scans are window-limited so that scheduling stays
    near-linear on the paper's largest inputs (tens of thousands of
    blocks); within the active-length-sorted order, far-away blocks are
    poor candidates anyway.  The default is shared with [Max_overlap] and
-   surfaced as `phc compile --window N` via [Config]. *)
+   surfaced as `phc compile --window N` via [Config].
+
+   The loops run over [Arena] — a flat structure-of-arrays holding the
+   per-block features (head/tail bitplanes, active words, depth
+   estimates) with preallocated round scratch — so a round allocates
+   nothing beyond its output layer, and the leader scan can fan out
+   over worker domains ([jobs]) while staying bit-identical to the
+   sequential scan. *)
 let default_window = 512
 
 type stats = { layers : int; padded : int }
 
-let schedule_stats ?rank ?(padding = true) ?(window = default_window) prog =
-  let blocks =
-    List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
-    |> List.stable_sort (fun a b ->
-           let c = Stdlib.compare (Block.active_length b) (Block.active_length a) in
-           if c <> 0 then c
-           else
-             Ph_pauli.Pauli_term.compare_lex ?rank (Block.representative a)
-               (Block.representative b))
-    |> Array.of_list
-  in
-  let m = Array.length blocks in
-  let n = Program.n_qubits prog in
-  (* Per-block scheduling features, computed once: the occupancy bitset
-     and depth estimate feed every padding scan, the tail string every
-     leader scan. *)
-  let active = Array.map Block.active_set blocks in
-  let depth = Array.map Layer.est_block_depth blocks in
-  let head = Array.map (fun b -> (Block.representative b).Pauli_term.str) blocks in
-  let tail = Array.map (fun b -> (Block.last_term b).Pauli_term.str) blocks in
-  let alive = Array.make m true in
-  let n_alive = ref m in
-  let first_alive = ref 0 in
-  let advance () =
-    while !first_alive < m && not alive.(!first_alive) do
-      incr first_alive
-    done
-  in
-  let take i =
-    alive.(i) <- false;
-    decr n_alive;
-    advance ()
-  in
-  (* Fold over alive indices starting at [first_alive], visiting at most
-     [window] live blocks.  Returns the number visited so callers can
-     charge the work to the right perf counter. *)
-  let scan_alive f =
-    let visited = ref 0 in
-    let i = ref !first_alive in
-    while !i < m && !visited < window do
-      if alive.(!i) then begin
-        incr visited;
-        f !i
-      end;
-      incr i
-    done;
-    if !visited >= window && !i < m then
-      Ph_perf.Counter.bump Ph_perf.Counter.sched_window_truncations;
-    !visited
-  in
+let schedule_stats ?rank ?(padding = true) ?(window = default_window)
+    ?(jobs = 1) prog =
+  let a = Arena.build ?rank ~order:Arena.Active_desc prog in
   let layers = ref [] in
-  (* Tail strings of the previous layer's blocks, kept alongside so the
-     leader scan multiplies bitplanes instead of walking term lists. *)
-  let last_tails = ref [] in
+  let n_layers = ref 0 in
   let n_padded = ref 0 in
-  (* Padding blocks may stack on the same qubits as each other (their
-     depths then add up per qubit) but never on the leader's; a candidate
-     fits while its qubit region's accumulated depth stays within the
-     leader's estimated depth.  [load] is dense per-qubit; only the slots
-     touched by the previous layer are reset between rounds. *)
-  let load = Array.make n 0 in
-  while !n_alive > 0 do
+  while Arena.n_alive a > 0 do
     (* Leader: best overlap with the previous layer's tail strings. *)
     let leader_idx =
-      match !last_tails with
-      | [] -> !first_alive
-      | tails ->
-        let best = ref !first_alive and best_ov = ref (-1) in
+      if Arena.n_prev a = 0 then Arena.first_alive a
+      else begin
         Ph_perf.Counter.bump Ph_perf.Counter.sched_leader_scans;
-        let visited =
-          scan_alive (fun i ->
-              let ov =
-                List.fold_left
-                  (fun acc t -> max acc (Pauli_string.overlap t head.(i)))
-                  0 tails
-              in
-              if ov > !best_ov then begin
-                best_ov := ov;
-                best := i
-              end)
+        let visited = Arena.collect a ~window in
+        let n_prev = Arena.n_prev a in
+        let pos =
+          Arena.argmax a ~jobs ~visited
+            ~score_work:(visited * n_prev * Arena.words a)
+            (fun p -> Arena.leader_score a (Arena.candidate a p))
         in
         Ph_perf.Counter.add Ph_perf.Counter.sched_candidates visited;
-        !best
+        Arena.charge_overlap_kernel a ~scores:visited ~per_score:n_prev;
+        Arena.candidate a pos
+      end
     in
-    let leader = blocks.(leader_idx) in
-    let occupied = active.(leader_idx) in
-    take leader_idx;
-    let chosen = ref [ leader ] in
-    let tails = ref [ tail.(leader_idx) ] in
-    if padding && !n_alive > 0 then begin
-      let budget = depth.(leader_idx) in
-      let touched = ref [] in
-      let visited =
-        scan_alive (fun i ->
-            let qs = active.(i) in
-            let current = Qubit_set.max_over qs load in
-            if current + depth.(i) <= budget && Qubit_set.disjoint occupied qs
-            then begin
-              Qubit_set.set_over qs load (current + depth.(i));
-              touched := qs :: !touched;
-              chosen := blocks.(i) :: !chosen;
-              tails := tail.(i) :: !tails;
-              incr n_padded;
-              take i
-            end)
-      in
+    Arena.take a leader_idx;
+    Arena.reset_chosen a;
+    Arena.push_chosen a leader_idx;
+    if padding && Arena.n_alive a > 0 then begin
+      (* Padding blocks may stack on the same qubits as each other
+         (their depths then add up per qubit) but never on the leader's;
+         a candidate fits while its qubit region's accumulated depth
+         stays within the leader's estimated depth.  The load vector is
+         dense per-qubit; only the slots touched this round are reset
+         afterwards. *)
+      let budget = Arena.depth a leader_idx in
+      Arena.reset_touched a;
+      let visited = Arena.collect a ~window in
+      for p = 0 to visited - 1 do
+        let i = Arena.candidate a p in
+        let current = Arena.max_load a i in
+        if
+          current + Arena.depth a i <= budget
+          && Arena.rows_disjoint a leader_idx i
+        then begin
+          Arena.set_load a i (current + Arena.depth a i);
+          Arena.push_touched a i;
+          Arena.push_chosen a i;
+          incr n_padded;
+          Arena.take a i
+        end
+      done;
       Ph_perf.Counter.add Ph_perf.Counter.sched_padding_probes visited;
-      List.iter (fun qs -> Qubit_set.set_over qs load 0) !touched
+      Arena.clear_touched_loads a
     end;
-    last_tails := !tails;
-    layers := Layer.make (List.rev !chosen) :: !layers
+    Arena.commit_prev a;
+    incr n_layers;
+    layers := Layer.make (Arena.chosen_blocks a) :: !layers
   done;
-  let layers = List.rev !layers in
-  layers, { layers = List.length layers; padded = !n_padded }
+  List.rev !layers, { layers = !n_layers; padded = !n_padded }
 
-let schedule ?rank ?padding ?window prog =
-  fst (schedule_stats ?rank ?padding ?window prog)
+let schedule ?rank ?padding ?window ?jobs prog =
+  fst (schedule_stats ?rank ?padding ?window ?jobs prog)
 
-let run ?rank ?padding ?window prog =
+let run ?rank ?padding ?window ?jobs prog =
   Layer.to_program ~n_qubits:(Program.n_qubits prog)
-    (schedule ?rank ?padding ?window prog)
+    (schedule ?rank ?padding ?window ?jobs prog)

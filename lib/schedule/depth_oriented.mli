@@ -18,14 +18,17 @@ type stats = { layers : int; padded : int }
     overridable through [Config] / `phc compile --window N`. *)
 val default_window : int
 
-(** [schedule ?padding ?window p] — set [padding:false] to ablate
+(** [schedule ?padding ?window ?jobs p] — set [padding:false] to ablate
     Algorithm 1's lines 7–10 (every layer is then a single block, but in
     DO order); [window] bounds both the leader and the padding candidate
-    scans (default {!default_window}). *)
+    scans (default {!default_window}); [jobs > 1] fans the leader scan
+    out over {!Ph_exec.Team} worker domains with output (layers,
+    metrics, perf counters) bit-identical to the sequential scan. *)
 val schedule :
   ?rank:(Ph_pauli.Pauli.t -> int) ->
   ?padding:bool ->
   ?window:int ->
+  ?jobs:int ->
   Program.t ->
   Layer.t list
 
@@ -34,6 +37,7 @@ val schedule_stats :
   ?rank:(Ph_pauli.Pauli.t -> int) ->
   ?padding:bool ->
   ?window:int ->
+  ?jobs:int ->
   Program.t ->
   Layer.t list * stats
 
@@ -41,5 +45,6 @@ val run :
   ?rank:(Ph_pauli.Pauli.t -> int) ->
   ?padding:bool ->
   ?window:int ->
+  ?jobs:int ->
   Program.t ->
   Program.t

@@ -1,58 +1,36 @@
-open Ph_pauli
 open Ph_pauli_ir
 
-let schedule ?rank ?(window = Depth_oriented.default_window) prog =
+let schedule ?rank ?(window = Depth_oriented.default_window) ?(jobs = 1) prog =
   (* Start from the lexicographic order (a good tour already), then chain
      greedily: the window scans the not-yet-scheduled blocks in that
-     order, so candidates stay similar to the current tail. *)
-  let blocks =
-    List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
-    |> List.stable_sort (fun a b ->
-           Pauli_term.compare_lex ?rank (Block.representative a) (Block.representative b))
-    |> Array.of_list
-  in
-  let m = Array.length blocks in
-  let alive = Array.make m true in
-  let first_alive = ref 0 in
-  let advance () =
-    while !first_alive < m && not alive.(!first_alive) do
-      incr first_alive
-    done
-  in
-  let last_string (b : Block.t) = (Block.last_term b).Pauli_term.str in
+     order, so candidates stay similar to the current tail.  The arena
+     keeps every candidate's head string as a bitplane row, so a visit
+     is a word scan instead of a [Block.representative] pointer chase,
+     and the whole step is the shared deterministic argmax. *)
+  let a = Arena.build ?rank ~order:Arena.Lex prog in
+  let m = Arena.size a in
   let out = ref [] in
-  let tail = ref None in
   for _ = 1 to m do
-    let best = ref (-1) and best_ov = ref (-1) in
-    let visited = ref 0 in
-    let i = ref !first_alive in
-    while !i < m && !visited < window do
-      if alive.(!i) then begin
-        incr visited;
-        let ov =
-          match !tail with
-          | None -> 0
-          | Some t ->
-            Pauli_string.overlap t (Block.representative blocks.(!i)).Pauli_term.str
-        in
-        if ov > !best_ov then begin
-          best_ov := ov;
-          best := !i
-        end
-      end;
-      incr i
-    done;
+    let visited = Arena.collect a ~window in
+    let have_tail = Arena.n_prev a > 0 in
+    let pos =
+      if not have_tail then 0
+      else
+        Arena.argmax a ~jobs ~visited
+          ~score_work:(visited * Arena.words a)
+          (fun p ->
+            Arena.leader_score a (Arena.candidate a p))
+    in
     Ph_perf.Counter.bump Ph_perf.Counter.sched_leader_scans;
-    Ph_perf.Counter.add Ph_perf.Counter.sched_candidates !visited;
-    if !visited >= window && !i < m then
-      Ph_perf.Counter.bump Ph_perf.Counter.sched_window_truncations;
-    let chosen = !best in
-    alive.(chosen) <- false;
-    advance ();
-    tail := Some (last_string blocks.(chosen));
-    out := blocks.(chosen) :: !out
+    Ph_perf.Counter.add Ph_perf.Counter.sched_candidates visited;
+    if have_tail then Arena.charge_overlap_kernel a ~scores:visited ~per_score:1;
+    let chosen = Arena.candidate a pos in
+    Arena.take a chosen;
+    Arena.set_prev1 a chosen;
+    out := Arena.block a chosen :: !out
   done;
   List.rev_map Layer.of_block !out
 
-let run ?rank ?window prog =
-  Layer.to_program ~n_qubits:(Program.n_qubits prog) (schedule ?rank ?window prog)
+let run ?rank ?window ?jobs prog =
+  Layer.to_program ~n_qubits:(Program.n_qubits prog)
+    (schedule ?rank ?window ?jobs prog)

@@ -14,9 +14,19 @@ open Ph_pauli_ir
 
 (** [schedule p] — singleton layers in greedy max-overlap chain order.
     [window] bounds the candidate scan per step (default 512), keeping
-    the pass near-linear on the largest kernels. *)
+    the pass near-linear on the largest kernels; [jobs > 1] fans the
+    scan out over {!Ph_exec.Team} worker domains, bit-identical to the
+    sequential scan. *)
 val schedule :
-  ?rank:(Ph_pauli.Pauli.t -> int) -> ?window:int -> Program.t -> Layer.t list
+  ?rank:(Ph_pauli.Pauli.t -> int) ->
+  ?window:int ->
+  ?jobs:int ->
+  Program.t ->
+  Layer.t list
 
 val run :
-  ?rank:(Ph_pauli.Pauli.t -> int) -> ?window:int -> Program.t -> Program.t
+  ?rank:(Ph_pauli.Pauli.t -> int) ->
+  ?window:int ->
+  ?jobs:int ->
+  Program.t ->
+  Program.t

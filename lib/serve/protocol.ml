@@ -45,16 +45,24 @@ let config_name ~backend ~device ~schedule =
   | "sc" -> Printf.sprintf "sc/%s/%s" device sched
   | b -> Printf.sprintf "%s/%s" b sched
 
-let config_for ?analyze ?gap_threshold ~backend ~device ~schedule ~lint ~window () =
+let config_for ?analyze ?gap_threshold ?sched_jobs ~backend ~device ~schedule
+    ~lint ~window () =
   if window <= 0 then Error (`Msg "window must be positive")
+  else if (match sched_jobs with Some j -> j < 1 | None -> false) then
+    Error (`Msg "sched-jobs must be at least 1")
   else
     match backend with
-    | "ft" -> Ok (Config.ft ~schedule ~lint ~window ?analyze ?gap_threshold ())
-    | "it" -> Ok (Config.ion_trap ~schedule ~lint ~window ?analyze ?gap_threshold ())
+    | "ft" ->
+      Ok (Config.ft ~schedule ~lint ~window ?analyze ?gap_threshold ?sched_jobs ())
+    | "it" ->
+      Ok
+        (Config.ion_trap ~schedule ~lint ~window ?analyze ?gap_threshold
+           ?sched_jobs ())
     | "sc" ->
       Result.map
         (fun coupling ->
-          Config.sc ~schedule ~lint ~window ?analyze ?gap_threshold coupling)
+          Config.sc ~schedule ~lint ~window ?analyze ?gap_threshold ?sched_jobs
+            coupling)
         (parse_device device)
     | b -> Error (`Msg (Printf.sprintf "unknown backend %S (ft | sc | it)" b))
 
@@ -67,6 +75,7 @@ type compile_request = {
   device : string;
   schedule : Config.schedule;
   window : int;
+  sched_jobs : int;
   lint : Lint.Diag.level;
   verify : bool;
   analyze : bool;
@@ -87,10 +96,22 @@ type wire_error = {
 
 let compile_request ?(name = "program") ?(backend = "ft") ?(device = "manhattan")
     ?(schedule = Config.Gco) ?(window = Config.default_window)
-    ?(lint = Lint.Diag.Off) ?(verify = true) ?(analyze = false) ?(params = [])
-    source =
+    ?(sched_jobs = 1) ?(lint = Lint.Diag.Off) ?(verify = true)
+    ?(analyze = false) ?(params = []) source =
   Compile
-    { name; source; backend; device; schedule; window; lint; verify; analyze; params }
+    {
+      name;
+      source;
+      backend;
+      device;
+      schedule;
+      window;
+      sched_jobs;
+      lint;
+      verify;
+      analyze;
+      params;
+    }
 
 (* Optional-field accessors: absent means default, present-but-wrong is
    a [bad_request], never a silent fallback. *)
@@ -144,6 +165,7 @@ let compile_of_json obj =
     Result.map_error (fun (`Msg m) -> m) (schedule_of_string sched_s)
   in
   let* window = int_field obj "window" Config.default_window in
+  let* sched_jobs = int_field obj "sched_jobs" 1 in
   let* lint_s = str_field obj "lint" "off" in
   let* lint = Lint.Diag.level_of_string lint_s in
   let* verify = bool_field obj "verify" true in
@@ -151,7 +173,19 @@ let compile_of_json obj =
   let* params = params_field obj in
   Ok
     (Compile
-       { name; source; backend; device; schedule; window; lint; verify; analyze; params })
+       {
+         name;
+         source;
+         backend;
+         device;
+         schedule;
+         window;
+         sched_jobs;
+         lint;
+         verify;
+         analyze;
+         params;
+       })
 
 let request_of_line line =
   match Json.parse line with
@@ -190,6 +224,7 @@ let request_to_json ~id request =
         "device", Json.String r.device;
         "schedule", Json.String (Config.schedule_name r.schedule);
         "window", Json.Int r.window;
+        "sched_jobs", Json.Int r.sched_jobs;
         "lint", Json.String (Lint.Diag.level_to_string r.lint);
         "verify", Json.Bool r.verify;
         "analyze", Json.Bool r.analyze;

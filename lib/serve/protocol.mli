@@ -62,11 +62,13 @@ val config_name :
 
 (** Resolve (backend, device, schedule, lint, window) to a compiler
     configuration; [Error] on an unknown backend/device or a
-    non-positive window.  [?analyze] / [?gap_threshold] forward to the
-    [Config] constructors (defaults: analyzer off). *)
+    non-positive window or [sched_jobs < 1].  [?analyze] /
+    [?gap_threshold] / [?sched_jobs] forward to the [Config]
+    constructors (defaults: analyzer off, sequential scans). *)
 val config_for :
   ?analyze:bool ->
   ?gap_threshold:float ->
+  ?sched_jobs:int ->
   backend:string ->
   device:string ->
   schedule:Config.schedule ->
@@ -84,6 +86,8 @@ type compile_request = {
   device : string;  (** SC device spec (default ["manhattan"]) *)
   schedule : Config.schedule;  (** default [Gco], like [phc compile] *)
   window : int;
+  sched_jobs : int;  (** scan-parallelism within the compile (default 1;
+                         output-invariant, see [Config.sched_jobs]) *)
   lint : Lint.Diag.level;
   verify : bool;  (** certify with the Pauli-frame verifier (default) *)
   analyze : bool;  (** run the static analyzer inside the compile
@@ -113,8 +117,9 @@ val request_of_line : string -> (Ph_json.t * request, wire_error) result
 
 val request_to_json : id:Ph_json.t -> request -> Ph_json.t
 val compile_request : ?name:string -> ?backend:string -> ?device:string ->
-  ?schedule:Config.schedule -> ?window:int -> ?lint:Lint.Diag.level ->
-  ?verify:bool -> ?analyze:bool -> ?params:(string * float) list -> string -> request
+  ?schedule:Config.schedule -> ?window:int -> ?sched_jobs:int ->
+  ?lint:Lint.Diag.level -> ?verify:bool -> ?analyze:bool ->
+  ?params:(string * float) list -> string -> request
 
 (** {1 Responses} *)
 

@@ -223,9 +223,9 @@ let respond_compile t ~id (req : Protocol.compile_request) =
   | program -> (
     match
       Protocol.config_for ~analyze:req.Protocol.analyze
-        ~backend:req.Protocol.backend ~device:req.Protocol.device
-        ~schedule:req.Protocol.schedule ~lint:req.Protocol.lint
-        ~window:req.Protocol.window ()
+        ~sched_jobs:req.Protocol.sched_jobs ~backend:req.Protocol.backend
+        ~device:req.Protocol.device ~schedule:req.Protocol.schedule
+        ~lint:req.Protocol.lint ~window:req.Protocol.window ()
     with
     | Error (`Msg m) ->
       locked t (fun () -> t.counters.c_rejected <- t.counters.c_rejected + 1);

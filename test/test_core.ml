@@ -164,7 +164,7 @@ let test_compile_trace_sc () =
 
 let all_ft_pipelines =
   [
-    "ph", Pipelines.ph_ft ?schedule:None ?lint:None ?window:None;
+    "ph", Pipelines.ph_ft ?schedule:None ?lint:None ?window:None ?sched_jobs:None;
     "tk-pairwise", Pipelines.tk_ft ?strategy:None;
     "tk-sets", Pipelines.tk_ft ~strategy:`Sets;
     "naive", Pipelines.naive_ft;

@@ -37,6 +37,56 @@ let test_compile_twice_identical () =
   check "cache counters stay out of compile scope" true
     (not (List.mem_assoc "cache_probes" p1))
 
+(* --- --sched-jobs byte-identity --- *)
+
+(* The whole normalized record — metrics, trace, and every perf counter
+   — must be byte-identical whatever the scan parallelism was. *)
+let test_sched_jobs_identical () =
+  let b = Ph_benchmarks.Suite.find "MgO" in
+  let prog = b.Ph_benchmarks.Suite.generate () in
+  let record sched_jobs =
+    let out =
+      Compiler.compile
+        (Config.ft ~schedule:Config.Depth_oriented ~sched_jobs ())
+        prog
+    in
+    let r =
+      {
+        Report.bench = "sched-jobs";
+        config = "ft/do";
+        qubits = Ph_pauli_ir.Program.n_qubits prog;
+        paulis = Ph_pauli_ir.Program.term_count prog;
+        metrics = out.Compiler.metrics;
+        trace = out.Compiler.trace;
+      }
+    in
+    Ph_json.to_string (Report.record_to_json (Report.normalize_record r))
+  in
+  let base = record 1 in
+  List.iter
+    (fun jobs ->
+      check_str
+        (Printf.sprintf "--sched-jobs %d record byte-identical" jobs)
+        base (record jobs))
+    [ 4; 8 ]
+
+(* MgO (28 qubits, one plane word) never crosses the parallel-dispatch
+   work threshold, so the byte-identity above exercises only the
+   sequential gate.  This wide, dense workload provably dispatches to
+   the worker team (sched_par_scans is process-scoped, outside the
+   compile snapshot, so it can prove engagement without perturbing any
+   record) and still must match the sequential schedule exactly. *)
+let test_sched_jobs_parallel_engages () =
+  let prog =
+    Ph_benchmarks.Random_h.program ~seed:556 ~density:0.046 ~n_qubits:256 ()
+  in
+  let seq = Ph_schedule.Depth_oriented.schedule ~jobs:1 prog in
+  let before = List.assoc "sched_par_scans" (Ph_perf.Counter.totals_assoc ()) in
+  let par = Ph_schedule.Depth_oriented.schedule ~jobs:4 prog in
+  let after = List.assoc "sched_par_scans" (Ph_perf.Counter.totals_assoc ()) in
+  check "parallel scans actually ran" true (after > before);
+  check "parallel schedule equals sequential" true (seq = par)
+
 let corpus () =
   [
     "heis", "{(XX, 1.0), 0.5};\n{(YY, 1.0), 0.5};\n{(ZZ, 1.0), 0.5};\n", [];
@@ -263,6 +313,10 @@ let () =
         [
           Alcotest.test_case "same input twice" `Quick
             test_compile_twice_identical;
+          Alcotest.test_case "--sched-jobs 1/4/8 byte-identical" `Quick
+            test_sched_jobs_identical;
+          Alcotest.test_case "parallel scan engages and matches" `Quick
+            test_sched_jobs_parallel_engages;
           Alcotest.test_case "--jobs 1 vs --jobs 4" `Quick
             test_jobs_1_vs_4_identical;
           Alcotest.test_case "warm vs cold cache" `Quick

@@ -240,6 +240,232 @@ let test_maxov_aggregate_overlap () =
     true
     (!chained >= !original)
 
+(* --- Arena parity: the pr8 list-based schedulers kept as oracle --- *)
+
+(* Verbatim copies of the pre-arena [Depth_oriented.schedule_stats] and
+   [Max_overlap.schedule] (perf-counter bumps stripped): the reference
+   the structure-of-arrays rewrite must match layer-for-layer on every
+   input.  Do not "modernize" these — their value is being the old
+   code. *)
+module Oracle = struct
+  let do_schedule ?rank ?(padding = true)
+      ?(window = Depth_oriented.default_window) prog =
+    let blocks =
+      List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
+      |> List.stable_sort (fun a b ->
+             let c =
+               Stdlib.compare (Block.active_length b) (Block.active_length a)
+             in
+             if c <> 0 then c
+             else
+               Pauli_term.compare_lex ?rank (Block.representative a)
+                 (Block.representative b))
+      |> Array.of_list
+    in
+    let m = Array.length blocks in
+    let n = Program.n_qubits prog in
+    let active = Array.map Block.active_set blocks in
+    let depth = Array.map Layer.est_block_depth blocks in
+    let head =
+      Array.map (fun b -> (Block.representative b).Pauli_term.str) blocks
+    in
+    let tail = Array.map (fun b -> (Block.last_term b).Pauli_term.str) blocks in
+    let alive = Array.make m true in
+    let n_alive = ref m in
+    let first_alive = ref 0 in
+    let advance () =
+      while !first_alive < m && not alive.(!first_alive) do
+        incr first_alive
+      done
+    in
+    let take i =
+      alive.(i) <- false;
+      decr n_alive;
+      advance ()
+    in
+    let scan_alive f =
+      let visited = ref 0 in
+      let i = ref !first_alive in
+      while !i < m && !visited < window do
+        if alive.(!i) then begin
+          incr visited;
+          f !i
+        end;
+        incr i
+      done;
+      !visited
+    in
+    let layers = ref [] in
+    let last_tails = ref [] in
+    let load = Array.make n 0 in
+    while !n_alive > 0 do
+      let leader_idx =
+        match !last_tails with
+        | [] -> !first_alive
+        | tails ->
+          let best = ref !first_alive and best_ov = ref (-1) in
+          ignore
+            (scan_alive (fun i ->
+                 let ov =
+                   List.fold_left
+                     (fun acc t -> max acc (Pauli_string.overlap t head.(i)))
+                     0 tails
+                 in
+                 if ov > !best_ov then begin
+                   best_ov := ov;
+                   best := i
+                 end));
+          !best
+      in
+      let leader = blocks.(leader_idx) in
+      let occupied = active.(leader_idx) in
+      take leader_idx;
+      let chosen = ref [ leader ] in
+      let tails = ref [ tail.(leader_idx) ] in
+      if padding && !n_alive > 0 then begin
+        let budget = depth.(leader_idx) in
+        let touched = ref [] in
+        ignore
+          (scan_alive (fun i ->
+               let qs = active.(i) in
+               let current = Qubit_set.max_over qs load in
+               if
+                 current + depth.(i) <= budget
+                 && Qubit_set.disjoint occupied qs
+               then begin
+                 Qubit_set.set_over qs load (current + depth.(i));
+                 touched := qs :: !touched;
+                 chosen := blocks.(i) :: !chosen;
+                 tails := tail.(i) :: !tails;
+                 take i
+               end));
+        List.iter (fun qs -> Qubit_set.set_over qs load 0) !touched
+      end;
+      last_tails := !tails;
+      layers := Layer.make (List.rev !chosen) :: !layers
+    done;
+    List.rev !layers
+
+  let maxov_schedule ?rank ?(window = Depth_oriented.default_window) prog =
+    let blocks =
+      List.map (Block.sort_terms_lex ?rank) (Program.blocks prog)
+      |> List.stable_sort (fun a b ->
+             Pauli_term.compare_lex ?rank (Block.representative a)
+               (Block.representative b))
+      |> Array.of_list
+    in
+    let m = Array.length blocks in
+    let alive = Array.make m true in
+    let first_alive = ref 0 in
+    let advance () =
+      while !first_alive < m && not alive.(!first_alive) do
+        incr first_alive
+      done
+    in
+    let last_string (b : Block.t) = (Block.last_term b).Pauli_term.str in
+    let out = ref [] in
+    let tail = ref None in
+    for _ = 1 to m do
+      let best = ref (-1) and best_ov = ref (-1) in
+      let visited = ref 0 in
+      let i = ref !first_alive in
+      while !i < m && !visited < window do
+        if alive.(!i) then begin
+          incr visited;
+          let ov =
+            match !tail with
+            | None -> 0
+            | Some t ->
+              Pauli_string.overlap t
+                (Block.representative blocks.(!i)).Pauli_term.str
+          in
+          if ov > !best_ov then begin
+            best_ov := ov;
+            best := !i
+          end
+        end;
+        incr i
+      done;
+      let chosen = !best in
+      alive.(chosen) <- false;
+      advance ();
+      tail := Some (last_string blocks.(chosen));
+      out := blocks.(chosen) :: !out
+    done;
+    List.rev_map Layer.of_block !out
+end
+
+(* Layer lists as nested term-string lists: equal structures mean the
+   same blocks, in the same order, in the same layers, with the same
+   in-block term order. *)
+let layer_strings layers =
+  List.map
+    (fun l ->
+      List.map
+        (fun b ->
+          List.map
+            (fun (t : Pauli_term.t) -> Pauli_string.to_string t.Pauli_term.str)
+            (Block.terms b))
+        l.Layer.blocks)
+    layers
+
+(* PR 8 schedule certificates (digests of every layer's leader and
+   padding blocks): structural equality covers everything the layer
+   strings might miss — qubit masks, depth estimates, coefficients. *)
+let certificate prog layers =
+  Ph_analysis.Certificate.build ~n_qubits:(Program.n_qubits prog) ~cnot:0
+    ~single:0 ~depth:0
+    (List.map (fun l -> l.Layer.blocks) layers)
+
+let check_parity ~what ?window prog =
+  let old_do = Oracle.do_schedule ?window prog in
+  let new_do = Depth_oriented.schedule ?window prog in
+  check (what ^ ": DO layers identical") true
+    (layer_strings old_do = layer_strings new_do);
+  check (what ^ ": DO certificates identical") true
+    (certificate prog old_do = certificate prog new_do);
+  let old_mo = Oracle.maxov_schedule ?window prog in
+  let new_mo = Max_overlap.schedule ?window prog in
+  check (what ^ ": maxov layers identical") true
+    (layer_strings old_mo = layer_strings new_mo);
+  check (what ^ ": maxov certificates identical") true
+    (certificate prog old_mo = certificate prog new_mo)
+
+let test_arena_parity_table2 () =
+  List.iter
+    (fun (b : Ph_benchmarks.Suite.t) ->
+      check_parity ~what:b.Ph_benchmarks.Suite.name
+        (b.Ph_benchmarks.Suite.generate ()))
+    (Ph_benchmarks.Suite.ft () @ Ph_benchmarks.Suite.sc ())
+
+let test_arena_parity_fuzz () =
+  let rand = Random.State.make [| 4243 |] in
+  let gen = gen_blocks 6 in
+  for case = 1 to 500 do
+    let prog = prog_of (gen rand) in
+    (* alternate a tiny window in so truncation paths get exercised *)
+    let window = if case mod 3 = 0 then Some 4 else None in
+    check_parity ~what:(Printf.sprintf "fuzz case %d" case) ?window prog
+  done
+
+(* Parallel scans must be invisible: same layers at any jobs count, with
+   the window shrunk so the scan actually partitions. *)
+let test_arena_jobs_identical () =
+  let prog =
+    (Ph_benchmarks.Suite.find "MgO").Ph_benchmarks.Suite.generate ()
+  in
+  let base = layer_strings (Depth_oriented.schedule ~jobs:1 prog) in
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "DO layers at jobs=%d" jobs)
+        true
+        (layer_strings (Depth_oriented.schedule ~jobs prog) = base))
+    [ 2; 4; 8 ];
+  let mo = layer_strings (Max_overlap.schedule ~jobs:1 prog) in
+  check "maxov layers at jobs=4" true
+    (layer_strings (Max_overlap.schedule ~jobs:4 prog) = mo)
+
 let () =
   Alcotest.run "schedule"
     [
@@ -272,5 +498,14 @@ let () =
           Alcotest.test_case "chains overlapping blocks" `Quick test_maxov_chains_overlap;
           qcheck prop_maxov_permutation;
           Alcotest.test_case "aggregate overlap gain" `Quick test_maxov_aggregate_overlap;
+        ] );
+      ( "arena_parity",
+        [
+          Alcotest.test_case "table-2 suites vs pr8 oracle" `Quick
+            test_arena_parity_table2;
+          Alcotest.test_case "500-case fuzz vs pr8 oracle" `Quick
+            test_arena_parity_fuzz;
+          Alcotest.test_case "layers identical across jobs" `Quick
+            test_arena_jobs_identical;
         ] );
     ]

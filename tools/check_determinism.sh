@@ -1,9 +1,11 @@
 #!/bin/sh
 # Static nondeterminism lint over the deterministic core of the
-# compiler.  The perf-counter subsystem, the schedulers, the synthesis
-# backends and the batch pool all promise byte-identical output across
-# runs and --jobs settings; the cheapest way to keep that promise is to
-# ban the usual sources of nondeterminism from their sources:
+# compiler.  The perf-counter subsystem, the schedulers (including the
+# arena's parallel candidate scans), the synthesis backends, the
+# gate-level metrics, the worker-team primitive and the batch pool all
+# promise byte-identical output across runs and --jobs/--sched-jobs
+# settings; the cheapest way to keep that promise is to ban the usual
+# sources of nondeterminism from their sources:
 #
 #   - Hashtbl.iter / Hashtbl.fold : iteration order depends on the
 #     hash seed and insertion history; deterministic code must walk an
@@ -22,7 +24,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="lib/core lib/schedule lib/synthesis lib/perf lib/pool"
+dirs="lib/core lib/schedule lib/synthesis lib/perf lib/pool lib/exec lib/gatelevel"
 
 # path:pattern pairs that are allowed to remain.  Every entry is a
 # timing-only site: the wall clock it reads lands in a field the
