@@ -233,6 +233,44 @@ let gap_geomeans cells =
                   (List.length rs))
             metrics))
 
+(* Geomean of the phoenix/GCO metric ratios over a table's merged cells,
+   paired by benchmark — the headline "does the IR optimizer beat plain
+   GCO scheduling" number (rows where either side is 0 are skipped, same
+   rule as `compare`). *)
+let phx_geomeans ~base_cfg ~phx_cfg ~base_name cells =
+  let pairs =
+    List.filter_map
+      (fun c ->
+        if c.c_record.Report.config <> phx_cfg then None
+        else
+          Option.map
+            (fun g -> g, c)
+            (List.find_opt
+               (fun g ->
+                 g.c_record.Report.config = base_cfg
+                 && g.c_record.Report.bench = c.c_record.Report.bench)
+               cells))
+      cells
+  in
+  let ratios f =
+    List.filter_map
+      (fun (g, p) ->
+        let a = f g.c_record.Report.metrics
+        and b = f p.c_record.Report.metrics in
+        if a > 0 && b > 0 then Some (float_of_int b /. float_of_int a) else None)
+      pairs
+  in
+  let show name = function
+    | [] -> Printf.sprintf "%s n/a" name
+    | rs -> Printf.sprintf "%s %.3fx/%d" name (Report.geomean rs) (List.length rs)
+  in
+  if pairs <> [] then
+    Printf.printf "PHX/%s geomeans: %s  %s  %s  %s\n" base_name
+      (show "cnot" (ratios (fun (m : Report.metrics) -> m.Report.cnot)))
+      (show "single" (ratios (fun (m : Report.metrics) -> m.Report.single)))
+      (show "total" (ratios (fun (m : Report.metrics) -> m.Report.total)))
+      (show "depth" (ratios (fun (m : Report.metrics) -> m.Report.depth)))
+
 (* ---------- Table 1: benchmark information ---------- *)
 
 let table1 filters =
@@ -258,53 +296,79 @@ let table1 filters =
 (* ---------- Table 2: PH vs TK on both backends ---------- *)
 
 let table2_sc filters =
-  header "Table 2 (SC backend, Manhattan-65): PH vs TK, each + generic stage"
+  header "Table 2 (SC backend, Manhattan-65): PH vs PHX vs TK, each + generic stage"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "gap" ];
-  gap_geomeans @@ pooled
-    (List.filter (wanted filters) (Suite.sc ()))
-    (fun (b : Suite.t) ->
-      let prog = b.Suite.generate () in
-      let ph =
-        analyzed prog
-          (cached ~bench:b.Suite.name ~config:"table2-sc/PH"
-             ~fp:(fp_ph_sc sc_device) prog (fun () -> ph_sc sc_device prog))
-      in
-      let tk =
-        analyzed prog
-          (cached ~bench:b.Suite.name ~config:"table2-sc/TK"
-             ~fp:(fp_baseline ~device:sc_device "tk") prog (fun () ->
-               Pipelines.tk_sc sc_device prog))
-      in
-      ( [ ph; tk ],
-        [
-          b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
-          "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
-        ] ))
+  let cells =
+    pooled
+      (List.filter (wanted filters) (Suite.sc ()))
+      (fun (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        let ph =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-sc/PH"
+               ~fp:(fp_ph_sc sc_device) prog (fun () -> ph_sc sc_device prog))
+        in
+        let phx =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-sc/PHX"
+               ~fp:(fp_ph_sc ~schedule:Config.Phoenix_like sc_device)
+               prog
+               (fun () -> ph_sc ~schedule:Config.Phoenix_like sc_device prog))
+        in
+        let tk =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-sc/TK"
+               ~fp:(fp_baseline ~device:sc_device "tk") prog (fun () ->
+                 Pipelines.tk_sc sc_device prog))
+        in
+        ( [ ph; phx; tk ],
+          [
+            b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
+            "", (cell_checked phx "PHX" :: cell_cols phx) @ [ gap_col phx ];
+            "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
+          ] ))
+  in
+  gap_geomeans cells;
+  phx_geomeans ~base_cfg:"table2-sc/PH" ~phx_cfg:"table2-sc/PHX" ~base_name:"PH"
+    cells
 
 let table2_ft filters =
-  header "Table 2 (FT backend): PH vs TK, each + generic stage"
+  header "Table 2 (FT backend): PH vs PHX vs TK, each + generic stage"
     [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "gap" ];
-  gap_geomeans @@ pooled
-    (List.filter (wanted filters) (Suite.ft ()))
-    (fun (b : Suite.t) ->
-      let prog = b.Suite.generate () in
-      let ph =
-        analyzed prog
-          (cached ~bench:b.Suite.name ~config:"table2-ft/PH"
-             ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
-             prog
-             (fun () -> ph_ft ~schedule:Config.Depth_oriented prog))
-      in
-      let tk =
-        analyzed prog
-          (cached ~bench:b.Suite.name ~config:"table2-ft/TK"
-             ~fp:(fp_baseline "tk") prog (fun () -> Pipelines.tk_ft prog))
-      in
-      ( [ ph; tk ],
-        [
-          b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
-          "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
-        ] ))
+  let cells =
+    pooled
+      (List.filter (wanted filters) (Suite.ft ()))
+      (fun (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        let ph =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-ft/PH"
+               ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
+               prog
+               (fun () -> ph_ft ~schedule:Config.Depth_oriented prog))
+        in
+        let phx =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-ft/PHX"
+               ~fp:(fp_ph_ft ~schedule:Config.Phoenix_like ())
+               prog
+               (fun () -> ph_ft ~schedule:Config.Phoenix_like prog))
+        in
+        let tk =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config:"table2-ft/TK"
+               ~fp:(fp_baseline "tk") prog (fun () -> Pipelines.tk_ft prog))
+        in
+        ( [ ph; phx; tk ],
+          [
+            b.Suite.name, (cell_checked ph "PH" :: cell_cols ph) @ [ gap_col ph ];
+            "", (cell_checked phx "PHX" :: cell_cols phx) @ [ gap_col phx ];
+            "", (cell_checked tk "TK" :: cell_cols tk) @ [ gap_col tk ];
+          ] ))
+  in
+  gap_geomeans cells;
+  phx_geomeans ~base_cfg:"table2-ft/PH" ~phx_cfg:"table2-ft/PHX" ~base_name:"PH"
+    cells
 
 (* ---------- Table 3: PH vs the QAOA compiler ---------- *)
 
@@ -322,52 +386,73 @@ let table3 filters =
         cached ~bench:b.Suite.name ~config:"table3/PH" ~fp:(fp_ph_sc sc_device)
           prog (fun () -> ph_sc sc_device prog)
       in
+      let phx =
+        cached ~bench:b.Suite.name ~config:"table3/PHX"
+          ~fp:(fp_ph_sc ~schedule:Config.Phoenix_like sc_device)
+          prog
+          (fun () -> ph_sc ~schedule:Config.Phoenix_like sc_device prog)
+      in
       let qc =
         cached ~bench:b.Suite.name ~config:"table3/QAOA_comp"
           ~fp:(fp_baseline ~device:sc_device "qaoa") prog (fun () ->
             Pipelines.qaoa_sc sc_device prog)
       in
-      ( [ ph; qc ],
+      ( [ ph; phx; qc ],
         [
           b.Suite.name, cell_checked ph "PH" :: cell_cols ph;
+          "", cell_checked phx "PHX" :: cell_cols phx;
           "", cell_checked qc "QAOA_comp" :: cell_cols qc;
         ] ))
 
 (* ---------- Table 4 left: DO vs GCO ---------- *)
 
 let table4_sched filters =
-  header "Table 4 (left): DO vs GCO scheduling (deltas of DO relative to GCO)"
-    [ "cnot"; "single"; "total"; "depth" ];
-  ignore @@ pooled
-    (List.filter (wanted filters) (Suite.all ()))
-    (fun (b : Suite.t) ->
-      let prog = b.Suite.generate () in
-      let compiled schedule config =
-        match b.Suite.backend with
-        | Suite.FT ->
-          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_ft ~schedule ()) prog
-            (fun () -> ph_ft ~schedule prog)
-        | Suite.SC ->
-          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_sc ~schedule sc_device)
-            prog
-            (fun () -> ph_sc ~schedule sc_device prog)
-      in
-      let gco = compiled Config.Gco "table4-sched/GCO" in
-      let dor = compiled Config.Depth_oriented "table4-sched/DO" in
-      let g = gco.c_record.Report.metrics and d = dor.c_record.Report.metrics in
-      ( [ gco; dor ],
-        if Program.block_count prog <= 1 then
-          [ b.Suite.name, [ "N/A"; "N/A"; "N/A"; "N/A" ] ]
-        else
+  header
+    "Table 4 (left): DO and PHX vs GCO scheduling (deltas relative to GCO)"
+    [ "config"; "cnot"; "single"; "total"; "depth" ];
+  let cells =
+    pooled
+      (List.filter (wanted filters) (Suite.all ()))
+      (fun (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        let compiled schedule config =
+          match b.Suite.backend with
+          | Suite.FT ->
+            cached ~bench:b.Suite.name ~config ~fp:(fp_ph_ft ~schedule ()) prog
+              (fun () -> ph_ft ~schedule prog)
+          | Suite.SC ->
+            cached ~bench:b.Suite.name ~config ~fp:(fp_ph_sc ~schedule sc_device)
+              prog
+              (fun () -> ph_sc ~schedule sc_device prog)
+        in
+        let gco = compiled Config.Gco "table4-sched/GCO" in
+        let dor = compiled Config.Depth_oriented "table4-sched/DO" in
+        let phx = compiled Config.Phoenix_like "table4-sched/PHX" in
+        let g = gco.c_record.Report.metrics in
+        let deltas (m : Report.metrics) =
           [
-            ( cell_checked gco (cell_checked dor b.Suite.name),
-              [
-                pct g.Report.cnot d.Report.cnot;
-                pct g.Report.single d.Report.single;
-                pct g.Report.total d.Report.total;
-                pct g.Report.depth d.Report.depth;
-              ] );
-          ] ))
+            pct g.Report.cnot m.Report.cnot;
+            pct g.Report.single m.Report.single;
+            pct g.Report.total m.Report.total;
+            pct g.Report.depth m.Report.depth;
+          ]
+        in
+        ( [ gco; dor; phx ],
+          (* DO differs from GCO only through layer choice, so it is N/A
+             on single-block programs; PHX rewrites inside the block and
+             stays meaningful *)
+          (if Program.block_count prog <= 1 then
+             [ b.Suite.name, [ "DO"; "N/A"; "N/A"; "N/A"; "N/A" ] ]
+           else
+             [
+               ( cell_checked gco (cell_checked dor b.Suite.name),
+                 "DO" :: deltas dor.c_record.Report.metrics );
+             ])
+          @ [ cell_checked phx "", "PHX" :: deltas phx.c_record.Report.metrics ]
+        ))
+  in
+  phx_geomeans ~base_cfg:"table4-sched/GCO" ~phx_cfg:"table4-sched/PHX"
+    ~base_name:"GCO" cells
 
 (* ---------- Table 4 right: block-wise compilation improvement ---------- *)
 
@@ -382,24 +467,23 @@ let scheduled_naive (b : Suite.t) prog =
 
 let table4_bc filters =
   header "Table 4 (right): block-wise compilation vs naive synthesis (deltas)"
-    [ "cnot"; "single"; "total"; "depth" ];
+    [ "config"; "cnot"; "single"; "total"; "depth" ];
   ignore @@ pooled
     (List.filter (wanted filters) (Suite.all ()))
     (fun (b : Suite.t) ->
       let prog = b.Suite.generate () in
-      let ph =
+      let compiled schedule config =
         match b.Suite.backend with
         | Suite.FT ->
-          cached ~bench:b.Suite.name ~config:"table4-bc/PH"
-            ~fp:(fp_ph_ft ~schedule:Config.Gco ())
-            prog
-            (fun () -> ph_ft ~schedule:Config.Gco prog)
+          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_ft ~schedule ()) prog
+            (fun () -> ph_ft ~schedule prog)
         | Suite.SC ->
-          cached ~bench:b.Suite.name ~config:"table4-bc/PH"
-            ~fp:(fp_ph_sc ~schedule:Config.Gco sc_device)
+          cached ~bench:b.Suite.name ~config ~fp:(fp_ph_sc ~schedule sc_device)
             prog
-            (fun () -> ph_sc ~schedule:Config.Gco sc_device prog)
+            (fun () -> ph_sc ~schedule sc_device prog)
       in
+      let ph = compiled Config.Gco "table4-bc/PH" in
+      let phx = compiled Config.Phoenix_like "table4-bc/PHX" in
       let base =
         cached ~bench:b.Suite.name ~config:"table4-bc/naive"
           ~fp:
@@ -409,16 +493,20 @@ let table4_bc filters =
           prog
           (fun () -> scheduled_naive b prog)
       in
-      let p = ph.c_record.Report.metrics and n = base.c_record.Report.metrics in
-      ( [ ph; base ],
+      let n = base.c_record.Report.metrics in
+      let deltas (m : Report.metrics) =
+        [
+          pct n.Report.cnot m.Report.cnot;
+          pct n.Report.single m.Report.single;
+          pct n.Report.total m.Report.total;
+          pct n.Report.depth m.Report.depth;
+        ]
+      in
+      ( [ ph; phx; base ],
         [
           ( cell_checked ph (cell_checked base b.Suite.name),
-            [
-              pct n.Report.cnot p.Report.cnot;
-              pct n.Report.single p.Report.single;
-              pct n.Report.total p.Report.total;
-              pct n.Report.depth p.Report.depth;
-            ] );
+            "PH" :: deltas ph.c_record.Report.metrics );
+          cell_checked phx "", "PHX" :: deltas phx.c_record.Report.metrics;
         ] ))
 
 (* ---------- Figure 11: end-to-end QAOA success probability ---------- *)
@@ -907,32 +995,39 @@ let serve_bench ~clients ~rps ~duration filters =
 
 (* ---------- scale: the scheduler-scaling study ---------- *)
 
-(* DO compiles of the 64-256 qubit scale suite (FT backend), with the
-   scheduling stage's wall time broken out — the table the schedule_s
-   speedup target is measured on. *)
+(* DO and PHX compiles of the 64-256 qubit scale suite (FT backend),
+   with the scheduling stage's wall time broken out — the table the
+   schedule_s speedup target is measured on. *)
 let scale_table filters =
-  header "Scale: DO scheduling at 64-256 qubits (FT backend)"
-    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "sched(s)" ];
-  ignore
-  @@ pooled
-       (List.filter (wanted filters) (Suite.scale ()))
-       (fun (b : Suite.t) ->
-         let prog = b.Suite.generate () in
-         let ph =
-           cached ~bench:b.Suite.name ~config:"scale/PH"
-             ~fp:(fp_ph_ft ~schedule:Config.Depth_oriented ())
-             prog
-             (fun () -> ph_ft ~schedule:Config.Depth_oriented prog)
-         in
-         ( [ ph ],
-           [
-             ( b.Suite.name,
-               (cell_checked ph "PH" :: cell_cols ph)
-               @ [
-                   Printf.sprintf "%.3f"
-                     ph.c_record.Report.trace.Report.schedule_s;
-                 ] );
-           ] ))
+  header "Scale: DO vs PHX scheduling at 64-256 qubits (FT backend)"
+    [ "config"; "cnot"; "single"; "total"; "depth"; "time(s)"; "sched(s)"; "gap" ];
+  let cells =
+    pooled
+      (List.filter (wanted filters) (Suite.scale ()))
+      (fun (b : Suite.t) ->
+        let prog = b.Suite.generate () in
+        let compiled schedule config =
+          analyzed prog
+            (cached ~bench:b.Suite.name ~config ~fp:(fp_ph_ft ~schedule ()) prog
+               (fun () -> ph_ft ~schedule prog))
+        in
+        let ph = compiled Config.Depth_oriented "scale/PH" in
+        let phx = compiled Config.Phoenix_like "scale/PHX" in
+        let sched c =
+          Printf.sprintf "%.3f" c.c_record.Report.trace.Report.schedule_s
+        in
+        ( [ ph; phx ],
+          [
+            ( b.Suite.name,
+              (cell_checked ph "PH" :: cell_cols ph)
+              @ [ sched ph; gap_col ph ] );
+            ( "",
+              (cell_checked phx "PHX" :: cell_cols phx)
+              @ [ sched phx; gap_col phx ] );
+          ] ))
+  in
+  gap_geomeans cells;
+  phx_geomeans ~base_cfg:"scale/PH" ~phx_cfg:"scale/PHX" ~base_name:"DO" cells
 
 (* ---------- driver ---------- *)
 
@@ -995,27 +1090,36 @@ let history_records suite =
   in
   Ph_pool.Pool.map ~jobs:!bench_jobs
     (fun item ->
+      let record ~bench ~config prog run =
+        analyzed_record prog (cell ~bench ~config prog run).c_record
+      in
       match item with
       | `Ft (b : Suite.t) ->
         let prog = b.Suite.generate () in
-        analyzed_record prog
-          (cell ~bench:b.Suite.name ~config:"table2-ft/PH" prog
-             (ph_ft ~schedule:Config.Depth_oriented prog))
-            .c_record
+        [
+          record ~bench:b.Suite.name ~config:"table2-ft/PH" prog
+            (ph_ft ~schedule:Config.Depth_oriented prog);
+          record ~bench:b.Suite.name ~config:"table2-ft/PHX" prog
+            (ph_ft ~schedule:Config.Phoenix_like prog);
+        ]
       | `Sc (b : Suite.t) ->
         let prog = b.Suite.generate () in
-        analyzed_record prog
-          (cell ~bench:b.Suite.name ~config:"table2-sc/PH" prog
-             (ph_sc sc_device prog))
-            .c_record
+        [
+          record ~bench:b.Suite.name ~config:"table2-sc/PH" prog
+            (ph_sc sc_device prog);
+          record ~bench:b.Suite.name ~config:"table2-sc/PHX" prog
+            (ph_sc ~schedule:Config.Phoenix_like sc_device prog);
+        ]
       | `Scale (b : Suite.t) ->
         let prog = b.Suite.generate () in
-        analyzed_record prog
-          (cell ~bench:b.Suite.name ~config:"scale/PH" prog
-             (ph_ft ~schedule:Config.Depth_oriented prog))
-            .c_record)
+        [
+          record ~bench:b.Suite.name ~config:"scale/PH" prog
+            (ph_ft ~schedule:Config.Depth_oriented prog);
+          record ~bench:b.Suite.name ~config:"scale/PHX" prog
+            (ph_ft ~schedule:Config.Phoenix_like prog);
+        ])
     items
-  |> List.map (function Stdlib.Ok r -> r | Stdlib.Error e -> raise e)
+  |> List.concat_map (function Stdlib.Ok rs -> rs | Stdlib.Error e -> raise e)
 
 let rows_of_records ~commit records =
   List.concat_map (Report.perf_rows ~commit) records

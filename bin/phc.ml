@@ -159,11 +159,14 @@ let sched_conv =
           | Config.Gco -> "gco"
           | Config.Depth_oriented -> "do"
           | Config.Max_overlap -> "maxov"
+          | Config.Phoenix_like -> "phoenix"
           | Config.Program_order -> "none") )
 
 let schedule_arg =
   Arg.(value & opt sched_conv Config.Gco & info [ "schedule"; "s" ] ~docv:"SCHEDULE"
-         ~doc:"Block scheduling pass: $(b,gco), $(b,do), $(b,maxov) or $(b,none).")
+         ~doc:"Block scheduling pass: $(b,gco), $(b,do), $(b,maxov), \
+               $(b,phoenix) (high-level Pauli-IR optimizer; ft/sc only) or \
+               $(b,none).")
 
 let window_arg =
   Arg.(value & opt int Config.default_window & info [ "window"; "w" ] ~docv:"N"
@@ -473,8 +476,13 @@ let run_analyze file backend device schedule window params gap_threshold lint
   | Error (`Msg m) -> prerr_endline m; 1
   | Ok (program, out) ->
     let metrics = out.Compiler.metrics in
+    (* under --schedule phoenix the certificate is over the optimizer's
+       rewritten program, which the compile output carries *)
+    let cert_program =
+      Option.value out.Compiler.opt_program ~default:program
+    in
     let check cert =
-      Analysis.Certificate.check ~program
+      Analysis.Certificate.check ~program:cert_program
         ~metrics:(metrics.Report.cnot, metrics.Report.single, metrics.Report.depth)
         cert
     in

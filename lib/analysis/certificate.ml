@@ -19,6 +19,8 @@ type layer_cert = {
   est_depth : int;
 }
 
+type opt_acc = { blocks_in : int; groups : int; fused : int }
+
 type t = {
   version : string;
   n_qubits : int;
@@ -28,6 +30,7 @@ type t = {
   cnot : int;
   single : int;
   depth : int;
+  opt : opt_acc option;
 }
 
 let version = "phc-cert/1"
@@ -88,7 +91,7 @@ let layer_cert ~n_qubits blocks =
     est_depth = List.fold_left (fun acc b -> max acc (est_block b)) 0 blocks;
   }
 
-let build ~n_qubits ~cnot ~single ~depth layers =
+let build ~n_qubits ?opt ~cnot ~single ~depth layers =
   let layers = List.map (layer_cert ~n_qubits) layers in
   {
     version;
@@ -99,6 +102,7 @@ let build ~n_qubits ~cnot ~single ~depth layers =
     cnot;
     single;
     depth;
+    opt;
   }
 
 (* ---------- checker ---------- *)
@@ -242,6 +246,29 @@ let check ~program ?metrics (cert : t) =
     acc "cnot" cert.cnot cnot;
     acc "single" cert.single single;
     acc "depth" cert.depth depth);
+  (* Opt accounting: when the Phoenix optimizer ran, its commuting
+     classes minus the blocks fusion removed must equal the post-opt
+     block count the certificate was built over — unless everything
+     cancelled, in which case the program is the single identity
+     sentinel block. *)
+  (match cert.opt with
+  | None -> ()
+  | Some o ->
+    if o.blocks_in < 0 || o.groups < 0 || o.fused < 0 then
+      emit
+        (Diag.error ~code:"ANA015" Diag.Program_loc
+           "optimizer accounting has a negative field")
+    else if
+      not
+        (o.groups - o.fused = cert.blocks
+        || (o.groups = o.fused && cert.blocks = 1))
+    then
+      emit
+        (Diag.error ~code:"ANA015" Diag.Program_loc
+           (Printf.sprintf
+              "optimizer accounting %d groups - %d fused does not explain %d \
+               certified blocks"
+              o.groups o.fused cert.blocks)));
   List.rev !out
 
 (* ---------- serialization ---------- *)
@@ -266,16 +293,32 @@ let layer_of_json j =
 
 let to_json (c : t) =
   Ph_json.Obj
-    [
-      "version", Ph_json.String c.version;
-      "n_qubits", Ph_json.Int c.n_qubits;
-      "layers", Ph_json.List (List.map layer_to_json c.layers);
-      "blocks", Ph_json.Int c.blocks;
-      "est_depth_total", Ph_json.Int c.est_depth_total;
-      "cnot", Ph_json.Int c.cnot;
-      "single", Ph_json.Int c.single;
-      "depth", Ph_json.Int c.depth;
-    ]
+    ([
+       "version", Ph_json.String c.version;
+       "n_qubits", Ph_json.Int c.n_qubits;
+       "layers", Ph_json.List (List.map layer_to_json c.layers);
+       "blocks", Ph_json.Int c.blocks;
+       "est_depth_total", Ph_json.Int c.est_depth_total;
+       "cnot", Ph_json.Int c.cnot;
+       "single", Ph_json.Int c.single;
+       "depth", Ph_json.Int c.depth;
+     ]
+    @
+    (* field omitted entirely when the optimizer did not run, so
+       pre-Phoenix certificates and their consumers round-trip
+       unchanged *)
+    match c.opt with
+    | None -> []
+    | Some o ->
+      [
+        ( "opt",
+          Ph_json.Obj
+            [
+              "blocks_in", Ph_json.Int o.blocks_in;
+              "groups", Ph_json.Int o.groups;
+              "fused", Ph_json.Int o.fused;
+            ] );
+      ])
 
 let of_json j =
   let int k = Ph_json.to_int (Ph_json.get k j) in
@@ -288,4 +331,10 @@ let of_json j =
     cnot = int "cnot";
     single = int "single";
     depth = int "depth";
+    opt =
+      Option.map
+        (fun o ->
+          let int k = Ph_json.to_int (Ph_json.get k o) in
+          { blocks_in = int "blocks_in"; groups = int "groups"; fused = int "fused" })
+        (Ph_json.member "opt" j);
   }

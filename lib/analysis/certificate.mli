@@ -20,7 +20,9 @@
     - [ANA012] — a layer record is internally inconsistent (leader not
       first, wrong qubit mask, wrong depth estimate, wrong total);
     - [ANA013] — a padding block overlaps its layer's leader;
-    - [ANA014] — cost accounting differs from the compiled metrics. *)
+    - [ANA014] — cost accounting differs from the compiled metrics;
+    - [ANA015] — the Phoenix optimizer accounting does not explain the
+      certified block count. *)
 
 type layer_cert = {
   leader_digest : string;
@@ -28,6 +30,15 @@ type layer_cert = {
   qubits_hex : string;  (** layer active-qubit mask, little-endian hex *)
   est_depth : int;  (** max single-block depth estimate in the layer *)
 }
+
+type opt_acc = {
+  blocks_in : int;  (** blocks in the pre-opt program *)
+  groups : int;  (** commuting classes the grouping pass produced *)
+  fused : int;  (** blocks removed by fusion/cancellation *)
+}
+(** Accounting of the Phoenix IR optimizer ([Ph_opt.Pass]) when it ran
+    before scheduling; the certified block multiset is then the
+    {e post-opt} program's. *)
 
 type t = {
   version : string;  (** ["phc-cert/1"] *)
@@ -38,6 +49,10 @@ type t = {
   cnot : int;  (** achieved metrics accounting *)
   single : int;
   depth : int;
+  opt : opt_acc option;
+      (** [None] unless [Config.schedule = Phoenix_like]; the JSON field
+          is omitted when [None], so pre-Phoenix certificates round-trip
+          unchanged *)
 }
 
 val version : string
@@ -49,13 +64,16 @@ val block_digest : Ph_pauli_ir.Block.t -> string
 
 val build :
   n_qubits:int ->
+  ?opt:opt_acc ->
   cnot:int ->
   single:int ->
   depth:int ->
   Ph_pauli_ir.Block.t list list ->
   t
 (** Build a certificate from the scheduled layers (each a leader-first
-    block list) and the achieved metrics. *)
+    block list) and the achieved metrics.  [?opt] attaches the Phoenix
+    optimizer's accounting; when given, {!check} additionally verifies
+    [groups - fused] against the certified block count (ANA015). *)
 
 val check :
   program:Ph_pauli_ir.Program.t -> ?metrics:int * int * int -> t -> Ph_lint.Diag.t list

@@ -55,6 +55,8 @@ let conjugate g (p, k) =
   in
   p', (k + !flip) land 3
 
+let conjugate_list gates row = List.fold_left (fun r g -> conjugate g r) row gates
+
 let is_diagonal p =
   List.for_all
     (fun q -> Pauli_string.get p q = Pauli.Z)
@@ -103,3 +105,17 @@ let diagonalize strings =
       assert (is_diagonal (row ()))
   done;
   List.rev !gates, Array.to_list rows
+
+type group = {
+  clifford : Gate.t list;
+  rows : (Pauli_string.t * Pauli_string.t * float) list;
+}
+
+let diagonalize_group strings =
+  let clifford, diags = diagonalize strings in
+  let rows =
+    List.map2
+      (fun p (diag, phase) -> p, diag, if phase = 0 then 1. else -1.)
+      strings diags
+  in
+  { clifford; rows }

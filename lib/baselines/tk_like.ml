@@ -68,18 +68,16 @@ let emit_z_chain builder diag ~theta =
     rev_cnots support
 
 let emit_diagonalized builder rotations group =
-  let strings = List.map fst group in
-  let clifford, diags = Symplectic.diagonalize strings in
-  Circuit.Builder.add_list builder clifford;
+  let d = Symplectic.diagonalize_group (List.map fst group) in
+  Circuit.Builder.add_list builder d.Symplectic.clifford;
   List.iter2
-    (fun (p, theta) (diag, phase) ->
-      let sign = if phase = 0 then 1. else -1. in
+    (fun (_, theta) (p, diag, sign) ->
       emit_z_chain builder diag ~theta:(sign *. theta);
       rotations := (p, theta) :: !rotations)
-    group diags;
+    group d.Symplectic.rows;
   List.iter
     (fun g -> Circuit.Builder.add builder (Gate.dagger g))
-    (List.rev clifford)
+    (List.rev d.Symplectic.clifford)
 
 (* tket-2021's default UCC synthesis conjugates gadgets two at a time
    ("pairwise"); each pair pays its own Clifford frame.  The [`Sets]

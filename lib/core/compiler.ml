@@ -13,6 +13,7 @@ type output = {
   metrics : Report.metrics;
   trace : Report.trace;
   certificate : Ph_analysis.Certificate.t;
+  opt_program : Program.t option;
 }
 
 let lint_errors o = Ph_lint.Diag.errors o.trace.Report.lint
@@ -33,6 +34,12 @@ let schedule_layers config prog =
   | Config.Max_overlap ->
     let layers = Max_overlap.schedule ~window ~jobs prog in
     layers, (List.length layers, 0)
+  | Config.Phoenix_like ->
+    (* [prog] here is the post-opt program: [Ph_opt.Pass] already fixed
+       the block order (GCO-sorted within each Clifford frame), so the
+       layers are its blocks verbatim *)
+    let layers = List.map Layer.of_block (Program.blocks prog) in
+    layers, (List.length layers, 0)
 
 (* Accumulator for the verify-each checkers: when linting is enabled,
    [run] times one checker and appends its findings in stage order. *)
@@ -52,6 +59,12 @@ let lint_run acc check =
   end
 
 let compile config prog =
+  (match config.Config.backend, config.Config.schedule with
+  | Config.Ion_trap, Config.Phoenix_like ->
+    invalid_arg
+      "Compiler.compile: schedule phoenix is not supported on the ion-trap \
+       backend"
+  | _ -> ());
   (* Counter hygiene before any allocation baseline is sampled: the
      domain-local counter array must already exist (its one-time DLS
      setup would otherwise be charged to the first compile each domain
@@ -87,11 +100,29 @@ let compile config prog =
         ~peephole:config.Config.peephole);
   (* stage 0: the input Pauli IR *)
   lint_run acc (fun () -> Ph_lint.Check_ir.program prog);
+  (* stage 0.5 (Phoenix only): the high-level IR optimizer — grouping,
+     simultaneous diagonalization, fusion.  Everything downstream of
+     this point (scheduling, lint, the certificate) sees the rewritten
+     program; the optimizer's own time and allocation are reported
+     separately and fold into the schedule stage totals. *)
+  let opt, opt_s, opt_gc =
+    match config.Config.schedule with
+    | Config.Phoenix_like ->
+      let o, s, gc = Report.timed_gc (fun () -> Ph_opt.Pass.run prog) in
+      Some o, s, gc
+    | _ -> None, 0., Report.empty_gc
+  in
+  let sched_program =
+    match opt with Some o -> o.Ph_opt.Pass.program | None -> prog
+  in
+  (match opt with
+  | Some o -> lint_run acc (fun () -> Ph_lint.Check_ir.program o.Ph_opt.Pass.program)
+  | None -> ());
   (* stage 1: block scheduling *)
   let (layers, (sched_layers, sched_padded)), schedule_s, schedule_gc =
-    Report.timed_gc (fun () -> schedule_layers config prog)
+    Report.timed_gc (fun () -> schedule_layers config sched_program)
   in
-  lint_run acc (fun () -> Ph_lint.Check_schedule.check ~program:prog layers);
+  lint_run acc (fun () -> Ph_lint.Check_schedule.check ~program:sched_program layers);
   let peephole c =
     if config.Config.peephole then
       Report.timed_gc (fun () -> Peephole.optimize_stats c)
@@ -104,7 +135,11 @@ let compile config prog =
     | Config.Ft ->
       let r, synthesis_s, synthesis_gc =
         Report.timed_gc (fun () ->
-            Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers)
+            match opt with
+            | Some o ->
+              Ph_opt.Phoenix_backend.synthesize_ft
+                ~n_qubits:(Program.n_qubits prog) o
+            | None -> Ft_backend.synthesize ~n_qubits:(Program.n_qubits prog) layers)
       in
       lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Emit.circuit);
       let (c, pstats), peephole_s, peephole_gc = peephole r.Emit.circuit in
@@ -125,8 +160,15 @@ let compile config prog =
     | Config.Sc { coupling; noise } ->
       let r, synthesis_s, synthesis_gc =
         Report.timed_gc (fun () ->
-            Sc_backend.synthesize ?noise ~coupling ~n_qubits:(Program.n_qubits prog)
-              layers)
+            match opt with
+            | Some o ->
+              (* a noise model only disables caching upstream; the
+                 Phoenix router is distance-driven *)
+              Ph_opt.Phoenix_backend.synthesize_sc ~coupling
+                ~n_qubits:(Program.n_qubits prog) o
+            | None ->
+              Sc_backend.synthesize ?noise ~coupling
+                ~n_qubits:(Program.n_qubits prog) layers)
       in
       lint_run acc (fun () -> Ph_lint.Check_gates.circuit r.Sc_backend.circuit);
       lint_run acc (fun () ->
@@ -187,6 +229,10 @@ let compile config prog =
       in
       Ph_lint.Check_frame.check ?layouts ~rotations circuit);
   let schedule_s, synthesis_s, swap_decompose_s, peephole_s = timings in
+  (* the optimizer is part of the scheduling family's work; its time
+     folds into the schedule stage total (the "opt" gc entry keeps its
+     allocation separately attributable) *)
+  let schedule_s = opt_s +. schedule_s in
   let synthesis_gc, swap_gc, peephole_gc = gcs in
   let metrics = Report.of_circuit circuit in
   (* stage 5 (opt-in): the static analyzer — bounds and gap diagnostics
@@ -225,6 +271,7 @@ let compile config prog =
   let perf =
     Ph_perf.Counter.compile_assoc ~before:perf0 ~after:perf1
     @ [
+        "alloc_opt_words", alloc opt_gc;
         "alloc_schedule_words", alloc schedule_gc;
         "alloc_synthesis_words", alloc synthesis_gc;
         "alloc_swap_words", alloc swap_gc;
@@ -235,7 +282,17 @@ let compile config prog =
   (* The certificate is built outside the perf window: digesting blocks
      is bookkeeping about the schedule, not compilation work. *)
   let certificate =
-    Ph_analysis.Certificate.build ~n_qubits:(Program.n_qubits prog)
+    let opt_acc =
+      Option.map
+        (fun (o : Ph_opt.Pass.t) ->
+          {
+            Ph_analysis.Certificate.blocks_in = Program.block_count prog;
+            groups = o.Ph_opt.Pass.stats.Ph_opt.Pass.groups;
+            fused = o.Ph_opt.Pass.stats.Ph_opt.Pass.fused_blocks;
+          })
+        opt
+    in
+    Ph_analysis.Certificate.build ~n_qubits:(Program.n_qubits prog) ?opt:opt_acc
       ~cnot:metrics.Report.cnot ~single:metrics.Report.single
       ~depth:metrics.Report.depth
       (List.map (fun l -> l.Layer.blocks) layers)
@@ -257,6 +314,7 @@ let compile config prog =
         lint = acc.diags;
         gc =
           [
+            "opt", opt_gc;
             "schedule", schedule_gc;
             "synthesis", synthesis_gc;
             "swap_decompose", swap_gc;
@@ -267,6 +325,7 @@ let compile config prog =
         analysis;
       };
     certificate;
+    opt_program = Option.map (fun (o : Ph_opt.Pass.t) -> o.Ph_opt.Pass.program) opt;
   }
 
 let compile_ft ?schedule ?lint ?window ?sched_jobs prog =

@@ -26,7 +26,12 @@ type output = {
   certificate : Ph_analysis.Certificate.t;
       (** proof-carrying schedule certificate, emitted on every compile;
           [Ph_analysis.Certificate.check] replays it against the input
-          program with no dependency on the scheduler *)
+          program with no dependency on the scheduler.  Under
+          [Phoenix_like] the certified multiset is the {e post-opt}
+          program's — replay against {!field-opt_program}. *)
+  opt_program : Program.t option;
+      (** the rewritten program when the Phoenix IR optimizer ran
+          ([Config.schedule = Phoenix_like]); [None] otherwise *)
 }
 
 (** [compile config program].  When [config.lint] is [Warn] or

@@ -1,6 +1,11 @@
 open Ph_hardware
 
-type schedule = Program_order | Gco | Depth_oriented | Max_overlap
+type schedule =
+  | Program_order
+  | Gco
+  | Depth_oriented
+  | Max_overlap
+  | Phoenix_like
 
 type backend =
   | Ft
@@ -72,13 +77,14 @@ let ion_trap ?(schedule = Gco) ?(lint = Ph_lint.Diag.Off) ?(window = default_win
 (* Bump whenever any pass can change its output for an unchanged
    (program, config) pair — the tag is part of every cache key, so a
    bump invalidates all previously cached compiles. *)
-let version_tag = "paulihedral/8"
+let version_tag = "paulihedral/9"
 
 let schedule_name = function
   | Program_order -> "none"
   | Gco -> "gco"
   | Depth_oriented -> "do"
   | Max_overlap -> "maxov"
+  | Phoenix_like -> "phoenix"
 
 let backend_fingerprint = function
   | Ft -> "ft"

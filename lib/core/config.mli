@@ -9,6 +9,11 @@ type schedule =
   | Gco            (** gate-count-oriented, Section 4.1 *)
   | Depth_oriented (** Algorithm 1 *)
   | Max_overlap    (** greedy TSP-style chaining (Gui et al.) *)
+  | Phoenix_like
+      (** PHOENIX-style IR optimizer ([Ph_opt]): commuting-set grouping,
+          simultaneous diagonalization into shared Clifford frames, block
+          fusion/cancellation — then frame-bracketed synthesis.  Not
+          supported on the [Ion_trap] backend. *)
 
 type backend =
   | Ft  (** fault-tolerant: all-to-all, cancellation-maximizing *)
@@ -106,7 +111,8 @@ val ion_trap :
     all previously cached compiles. *)
 val version_tag : string
 
-(** [schedule_name s] — the CLI spelling ([gco]/[do]/[maxov]/[none]). *)
+(** [schedule_name s] — the CLI spelling
+    ([gco]/[do]/[maxov]/[phoenix]/[none]). *)
 val schedule_name : schedule -> string
 
 (** Stable textual identity of the configuration: version tag, schedule,

@@ -21,6 +21,7 @@ let line_for prog = Ph_hardware.Devices.line (max 2 (Program.n_qubits prog))
 let ft_pipelines () =
   [
     { name = "ph_ft"; compile = (fun p -> Pipelines.ph_ft p) };
+    { name = "ph_phx"; compile = (fun p -> Pipelines.ph_ft ~schedule:Config.Phoenix_like p) };
     { name = "ph_it"; compile = (fun p -> Pipelines.ph_it p) };
     { name = "tk_ft"; compile = (fun p -> Pipelines.tk_ft p) };
     { name = "naive_ft"; compile = (fun p -> Pipelines.naive_ft p) };
@@ -30,6 +31,10 @@ let sc_pipelines ?coupling () =
   let dev p = match coupling with Some c -> c | None -> line_for p in
   [
     { name = "ph_sc"; compile = (fun p -> Pipelines.ph_sc (dev p) p) };
+    {
+      name = "ph_phx_sc";
+      compile = (fun p -> Pipelines.ph_sc ~schedule:Config.Phoenix_like (dev p) p);
+    };
     { name = "tk_sc"; compile = (fun p -> Pipelines.tk_sc (dev p) p) };
     { name = "naive_sc"; compile = (fun p -> Pipelines.naive_sc (dev p) p) };
   ]
@@ -116,6 +121,8 @@ let lint ?coupling prog =
   let configs =
     [
       "ft", Config.ft ~lint:Ph_lint.Diag.Error_level ();
+      ( "ft_phx",
+        Config.ft ~schedule:Config.Phoenix_like ~lint:Ph_lint.Diag.Error_level () );
       "sc", Config.sc ~lint:Ph_lint.Diag.Error_level dev;
       "it", Config.ion_trap ~lint:Ph_lint.Diag.Error_level ();
     ]
@@ -313,3 +320,76 @@ let metamorphic ~dense_limit rng prog =
   (if Program.block_count prog < 2 then []
    else check_variant "block_perm" (block_permuted rng prog))
   @ check_variant "term_perm" (term_permuted rng prog)
+
+(* ---------- Phoenix optimizer preserves semantics ---------- *)
+
+(* The [Ph_opt.Pass] rewrite must be exact on every generator family:
+   structurally, every rewritten block is Z/I-only and the stats
+   accounting explains the post-opt block count; semantically, the
+   phoenix compile passes frame verification, and on small fully
+   commuting programs (where execution order is irrelevant) its circuit
+   is unitarily equal to the unoptimized compile of the same program. *)
+let opt_preserves ~dense_limit prog =
+  let fail check detail = { pipeline = "opt"; check; detail } in
+  match Ph_opt.Pass.run prog with
+  | exception e -> [ fail "exception" (Printexc.to_string e) ]
+  | pass ->
+    let post = pass.Ph_opt.Pass.program in
+    let structural =
+      (if Program.n_qubits post = Program.n_qubits prog then []
+       else [ fail "n_qubits" "optimizer changed the qubit count" ])
+      @ (if
+           List.for_all
+             (fun (g : Ph_opt.Pass.group) ->
+               List.for_all
+                 (fun b ->
+                   List.for_all
+                     (fun (t : Pauli_term.t) ->
+                       Ph_baselines.Symplectic.is_diagonal t.Pauli_term.str)
+                     (Block.terms b))
+                 g.Ph_opt.Pass.blocks)
+             pass.Ph_opt.Pass.groups
+         then []
+         else [ fail "diagonal" "a rewritten block contains a non-Z/I string" ])
+      @ (let s = pass.Ph_opt.Pass.stats in
+         let blocks = Program.block_count post in
+         if
+           s.Ph_opt.Pass.groups - s.Ph_opt.Pass.fused_blocks = blocks
+           || (s.Ph_opt.Pass.groups = s.Ph_opt.Pass.fused_blocks && blocks = 1)
+         then []
+         else
+           [
+             fail "accounting"
+               (Printf.sprintf "%d groups - %d fused does not explain %d blocks"
+                  s.Ph_opt.Pass.groups s.Ph_opt.Pass.fused_blocks blocks);
+           ])
+      @
+      match Ph_lint.Diag.errors (Ph_lint.Check_ir.program post) with
+      | [] -> []
+      | d :: _ ->
+        [ fail "post_ir" ("post-opt IR lint error: " ^ Ph_lint.Diag.to_string d) ]
+    in
+    let semantic =
+      match Pipelines.ph_ft ~schedule:Config.Phoenix_like prog with
+      | exception e ->
+        [ fail "compile" ("phoenix compile raised " ^ Printexc.to_string e) ]
+      | run ->
+        (if Pipelines.verified run then []
+         else [ fail "pauli_frame" "phoenix circuit fails frame verification" ])
+        @
+        if not (fully_commuting prog && Program.n_qubits prog <= dense_limit) then
+          []
+        else
+          let base = Pipelines.ph_ft prog in
+          if
+            Ph_linalg.Matrix.equal_up_to_phase
+              (Circuit.unitary run.Pipelines.circuit)
+              (Circuit.unitary base.Pipelines.circuit)
+          then []
+          else
+            [
+              fail "unitary"
+                "phoenix compiles a commuting program to a different unitary";
+            ]
+    in
+    structural @ semantic

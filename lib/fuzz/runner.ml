@@ -77,6 +77,7 @@ let reproduces cfg rng (case : Gen.case) (f : Properties.failure) =
     fun p -> same (Properties.metamorphic ~dense_limit:cfg.dense_limit rng p)
   | "lint" -> fun p -> same (Properties.lint ?coupling:cfg.coupling p)
   | "pauli_ops" -> fun p -> same (Properties.pauli_ops rng p)
+  | "opt" -> fun p -> same (Properties.opt_preserves ~dense_limit:cfg.dense_limit p)
   | name -> (
     match List.find_opt (fun pl -> pl.Properties.name = name) cfg.pipelines with
     | Some pl ->
@@ -107,6 +108,8 @@ let evaluate cfg i =
   if cfg.lint then
     collect "lint" (fun () ->
         Properties.lint ?coupling:cfg.coupling case.Gen.program);
+  collect "opt" (fun () ->
+      Properties.opt_preserves ~dense_limit:cfg.dense_limit case.Gen.program);
   if cfg.metamorphic then begin
     let meta_rng = Rng.create2 cfg.seed (0x4d455441 + i) in
     collect "metamorphic" (fun () ->
@@ -127,11 +130,13 @@ let run ?(log = fun _ -> ()) cfg =
       order := name :: !order;
       s
   in
-  (* fixed display order: parser, pauli_ops, pipelines, lint, metamorphic *)
+  (* fixed display order: parser, pauli_ops, pipelines, lint, opt,
+     metamorphic *)
   ignore (stat "parser");
   ignore (stat "pauli_ops");
   List.iter (fun pl -> ignore (stat pl.Properties.name)) cfg.pipelines;
   if cfg.lint then ignore (stat "lint");
+  ignore (stat "opt");
   if cfg.metamorphic then ignore (stat "metamorphic");
   let deadline = if cfg.time_budget_s > 0. then Some (t0 +. cfg.time_budget_s) else None in
   let out_of_time () =

@@ -1,0 +1,23 @@
+(** Gate emission for the Phoenix scheduling family.
+
+    Per optimizer group: the Clifford frame, the group's diagonal blocks
+    through [Ft_backend.synthesize] (all Z-rotations of one frame
+    synthesize together, so the CNOT-tree sharing and the peephole reach
+    across what used to be block boundaries), then the mirrored frame.
+    The returned rotation trace is in terms of the {e original} strings
+    with signs folded — the witness format both verifiers and
+    [Check_frame] expect. *)
+
+open Ph_synthesis
+
+(** [synthesize_ft ~n_qubits pass] — all-to-all circuit plus the logical
+    rotation trace in emission order. *)
+val synthesize_ft : n_qubits:int -> Pass.t -> Emit.result
+
+(** [synthesize_sc ~coupling ~n_qubits pass] — the all-to-all circuit
+    routed onto the device by [Ph_baselines.Router] (greedy lookahead
+    SWAP insertion), with the router's layouts and the inserted SWAP
+    count; SWAPs are not yet decomposed, matching [Sc_backend.result]'s
+    contract. *)
+val synthesize_sc :
+  coupling:Ph_hardware.Coupling.t -> n_qubits:int -> Pass.t -> Sc_backend.result

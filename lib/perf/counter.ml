@@ -23,13 +23,16 @@ let peephole_scan_rounds = 11
 let ana_edges_scanned = 12
 let ana_clique_iters = 13
 let ana_cert_checks = 14
-let cache_probes = 15
-let cache_hits_mem = 16
-let cache_hits_disk = 17
-let cache_stores = 18
-let sched_par_scans = 19
+let opt_groups = 15
+let opt_diag_rotations = 16
+let opt_fused_blocks = 17
+let cache_probes = 18
+let cache_hits_mem = 19
+let cache_hits_disk = 20
+let cache_stores = 21
+let sched_par_scans = 22
 
-let n_counters = 20
+let n_counters = 23
 
 (* The [cache_*] group and [sched_par_scans] sit at the tail; everything
    below this index is compile-scoped (deterministic per compile).
@@ -56,6 +59,9 @@ let names =
     "ana_edges_scanned";
     "ana_clique_iters";
     "ana_cert_checks";
+    "opt_groups";
+    "opt_diag_rotations";
+    "opt_fused_blocks";
     "cache_probes";
     "cache_hits_mem";
     "cache_hits_disk";

@@ -67,6 +67,20 @@ val ana_clique_iters : id
 val ana_cert_checks : id
 (** Schedule-certificate validations performed by the checker. *)
 
+(* Phoenix IR optimizer work (lib/opt). *)
+
+val opt_groups : id
+(** Mutually-commuting groups produced by the grouping pass (diagonal
+    blocks before fusion). *)
+
+val opt_diag_rotations : id
+(** Rotations rewritten into the diagonal frame by the
+    simultaneous-diagonalization pass. *)
+
+val opt_fused_blocks : id
+(** Blocks eliminated by the fusion pass (support merges, cross-block
+    exact cancellations, emptied blocks). *)
+
 (* Compile-cache traffic (lib/pool).  Process-scoped only: warm/cold
    dependent, so never part of a per-compile snapshot. *)
 

@@ -36,8 +36,12 @@ let schedule_of_string = function
   | "gco" -> Ok Config.Gco
   | "do" -> Ok Config.Depth_oriented
   | "maxov" -> Ok Config.Max_overlap
+  | "phoenix" -> Ok Config.Phoenix_like
   | "none" -> Ok Config.Program_order
-  | s -> Error (`Msg (Printf.sprintf "unknown schedule %S (gco | do | maxov | none)" s))
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown schedule %S (gco | do | maxov | phoenix | none)" s))
 
 let config_name ~backend ~device ~schedule =
   let sched = Config.schedule_name schedule in
@@ -54,6 +58,10 @@ let config_for ?analyze ?gap_threshold ?sched_jobs ~backend ~device ~schedule
     match backend with
     | "ft" ->
       Ok (Config.ft ~schedule ~lint ~window ?analyze ?gap_threshold ?sched_jobs ())
+    | "it" when schedule = Config.Phoenix_like ->
+      (* the ion-trap lowering consumes raw blocks natively; the Phoenix
+         diagonal rewrite has no MS-gate emission path *)
+      Error (`Msg "schedule phoenix is not supported on the it backend")
     | "it" ->
       Ok
         (Config.ion_trap ~schedule ~lint ~window ?analyze ?gap_threshold

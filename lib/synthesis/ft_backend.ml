@@ -3,6 +3,13 @@ open Ph_pauli_ir
 open Ph_gatelevel
 open Ph_schedule
 
+(* Remove exactly the first physically-equal occurrence: terms may be
+   aliased (the same object appearing twice in a block), and a filter on
+   [!=] would drop every alias at once, silently losing rotations. *)
+let rec remove_first t = function
+  | [] -> []
+  | u :: rest -> if u == t then rest else u :: remove_first t rest
+
 (* Greedy most-overlap ordering of a block's terms, seeded by the string
    emitted just before the block (Algorithm 2 lines 10-13). *)
 let most_overlap_sort ~prev terms =
@@ -20,7 +27,7 @@ let most_overlap_sort ~prev terms =
       in
       (match best with
       | Some t ->
-        remaining := List.filter (fun u -> u != t) !remaining;
+        remaining := remove_first t !remaining;
         best
       | None -> None)
   in

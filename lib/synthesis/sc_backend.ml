@@ -12,6 +12,13 @@ type result = {
   swaps : int;
 }
 
+(* Remove exactly the first physically-equal occurrence: terms and
+   blocks may be aliased (the same object appearing twice), and a filter
+   on [!=] would drop every alias at once, silently losing rotations. *)
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if y == x then rest else y :: remove_first x rest
+
 let swap_cost noise a b =
   let e = noise.Noise_model.cnot_error a b in
   (* -log of SWAP fidelity; monotone in the error rate. *)
@@ -292,7 +299,7 @@ let synthesize_block coupling noise layout builder rotations policy ~swap_count 
                (Block.terms blk))
       in
       let emit_connected (t : Pauli_term.t) holders ~nodes =
-        remaining := List.filter (fun u -> u != t) !remaining;
+        remaining := remove_first t !remaining;
         let theta = Emit.angle (Block.param blk) t.coeff in
         let spread p =
           List.fold_left (fun acc q -> acc + Coupling.distance coupling p q) 0 holders
@@ -419,7 +426,7 @@ let synthesize ?noise ?(root_policy = `Largest_component) ~coupling ~n_qubits la
     match best with
     | None -> remains := []
     | Some (_, blk) ->
-      remains := List.filter (fun b -> b != blk) !remains;
+      remains := remove_first blk !remains;
       let ok =
         synthesize_block coupling noise layout builder rotations root_policy
           ~swap_count ~avoid:[] blk

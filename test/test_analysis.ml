@@ -244,6 +244,61 @@ let test_certificate_tampering () =
   in
   check "ANA014 fires" true (has_code "ANA014" diags)
 
+(* --- ANA015: optimizer accounting, phoenix compiles and tampering --- *)
+
+let test_certificate_opt_accounting () =
+  let prog =
+    program 3
+      [ block [ "XXI", 1.0; "ZZI", 0.5 ]; block [ "IZZ", 0.5; "IYY", -0.25 ] ]
+  in
+  let out = Compiler.compile (Config.ft ~schedule:Config.Phoenix_like ()) prog in
+  let cert = out.Compiler.certificate in
+  (match cert.Analysis.Certificate.opt with
+  | None -> Alcotest.fail "phoenix certificate must carry opt accounting"
+  | Some o ->
+    check_int "blocks_in recorded" 2 o.Analysis.Certificate.blocks_in);
+  (* phoenix certifies the post-opt multiset: check against the rewritten
+     program, not the input *)
+  let cert_prog =
+    Option.value out.Compiler.opt_program ~default:prog
+  in
+  check_int "post-opt certificate validates" 0
+    (List.length
+       (Analysis.Certificate.check ~program:cert_prog
+          ~metrics:(cert_metrics out) cert));
+  (* GCO compiles carry no opt field and the JSON omits it *)
+  let plain = Compiler.compile (Config.ft ()) prog in
+  check "no opt field off phoenix" true
+    (plain.Compiler.certificate.Analysis.Certificate.opt = None);
+  let js = Json.to_string (Analysis.Certificate.to_json plain.Compiler.certificate) in
+  check "json omits opt when absent" false
+    (let rec go i =
+       i + 5 <= String.length js && (String.sub js i 5 = "\"opt\"" || go (i + 1))
+     in
+     go 0);
+  (* roundtrip with the opt field present *)
+  let c' =
+    Analysis.Certificate.of_json
+      (Json.parse (Json.to_string (Analysis.Certificate.to_json cert)))
+  in
+  check "opt certificate roundtrips" true (cert = c');
+  (* tampered accounting: groups - fused no longer explains the block
+     count, and negative fields are rejected outright *)
+  let tampered o =
+    { cert with Analysis.Certificate.opt = Some o }
+  in
+  let base = Option.get cert.Analysis.Certificate.opt in
+  let diags =
+    Analysis.Certificate.check ~program:cert_prog
+      (tampered { base with Analysis.Certificate.groups = base.Analysis.Certificate.groups + 1 })
+  in
+  check "ANA015 fires on mismatch" true (has_code "ANA015" diags);
+  let diags =
+    Analysis.Certificate.check ~program:cert_prog
+      (tampered { base with Analysis.Certificate.fused = -1 })
+  in
+  check "ANA015 fires on negative field" true (has_code "ANA015" diags)
+
 let test_certificate_term_order_insensitive () =
   (* digests canonicalize term order: a block with reordered terms keeps
      its digest, so scheduler-side reorderings never invalidate *)
@@ -295,6 +350,8 @@ let () =
         [
           Alcotest.test_case "valid accepted" `Quick test_certificate_valid;
           Alcotest.test_case "tampering rejected" `Quick test_certificate_tampering;
+          Alcotest.test_case "phoenix opt accounting (ANA015)" `Quick
+            test_certificate_opt_accounting;
           Alcotest.test_case "term order insensitive" `Quick
             test_certificate_term_order_insensitive;
         ] );

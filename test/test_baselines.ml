@@ -94,6 +94,58 @@ let test_diagonalize_rejects_noncommuting () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* Rows must be reproducible by folding the group's own Clifford over the
+   originals — the consistency contract every edge case below re-checks. *)
+let check_group_consistent (g : Symplectic.group) =
+  List.iter
+    (fun (orig, d, sign) ->
+      check "row diagonal" true (Symplectic.is_diagonal d);
+      check "row sign" true (sign = 1.0 || sign = -1.0);
+      let q, k = Symplectic.conjugate_list g.Symplectic.clifford (orig, 0) in
+      check "row conjugation" true
+        (Pauli_string.equal q d && (if k = 0 then 1.0 else -1.0) = sign))
+    g.Symplectic.rows
+
+let test_diagonalize_single_qubit () =
+  List.iter
+    (fun s ->
+      let g = Symplectic.diagonalize_group [ str s ] in
+      check_int (s ^ " one row") 1 (List.length g.Symplectic.rows);
+      check_group_consistent g)
+    [ "X"; "Y"; "Z" ]
+
+let test_diagonalize_all_diagonal_identity () =
+  let strings = [ str "ZIZ"; str "IZZ"; str "ZZZ" ] in
+  let g = Symplectic.diagonalize_group strings in
+  check "clifford is identity" true (g.Symplectic.clifford = []);
+  List.iter2
+    (fun p (orig, d, sign) ->
+      check "original kept" true (Pauli_string.equal p orig);
+      check "image unchanged" true (Pauli_string.equal p d);
+      check "sign +1" true (sign = 1.0))
+    strings g.Symplectic.rows
+
+let test_diagonalize_word_boundary () =
+  (* Widths 63 and 64 straddle the 62-bit packing word; put support on
+     both sides of the boundary and at the extreme ends. *)
+  List.iter
+    (fun n ->
+      let at ops i = List.assoc_opt i ops |> Option.value ~default:Pauli.I in
+      let s1 =
+        Pauli_string.make n (at [ 0, Pauli.X; 61, Pauli.X; n - 1, Pauli.X ])
+      and s2 =
+        (* agree at 0, anticommute at 61 and n-1: two anticommuting
+           positions, so the pair commutes *)
+        Pauli_string.make n (at [ 0, Pauli.X; 61, Pauli.Y; n - 1, Pauli.Y ])
+      and s3 = Pauli_string.make n (at [ 61, Pauli.Z; 62, Pauli.Z ]) in
+      check "XY set commutes" true (Pauli_string.commutes s1 s2);
+      let g = Symplectic.diagonalize_group [ s1; s2 ] in
+      check_int "both rows" 2 (List.length g.Symplectic.rows);
+      check_group_consistent g;
+      check "Z straddling words already diagonal" true (Symplectic.is_diagonal s3);
+      check_group_consistent (Symplectic.diagonalize_group [ s3 ]))
+    [ 63; 64 ]
+
 let gen_commuting_set n =
   (* Build commuting sets by multiplying random subsets of commuting
      generators (Z-strings and matched X-strings). *)
@@ -315,6 +367,12 @@ let () =
           Alcotest.test_case "diagonalize XX/YY" `Quick test_diagonalize_basic;
           Alcotest.test_case "rejects non-commuting" `Quick
             test_diagonalize_rejects_noncommuting;
+          Alcotest.test_case "single-qubit groups" `Quick
+            test_diagonalize_single_qubit;
+          Alcotest.test_case "all-diagonal input keeps identity Clifford"
+            `Quick test_diagonalize_all_diagonal_identity;
+          Alcotest.test_case "widths 63/64 straddle the packing word" `Quick
+            test_diagonalize_word_boundary;
           qcheck prop_conjugate_preserves_weighted_commutation;
           qcheck prop_diagonalize_z_sets;
           qcheck prop_diagonalize_conjugated_sets;

@@ -114,6 +114,36 @@ let test_request_of_line_errors () =
   | Error e -> check_str "wrong field type" "bad_request" e.Protocol.code
   | Ok _ -> Alcotest.fail "expected bad_request"
 
+(* Schedule vocabulary: unknown names are structured bad_request errors
+   (never exceptions), phoenix parses, and the ion-trap backend rejects
+   phoenix with a usable message. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_schedule_vocabulary () =
+  (match Protocol.schedule_of_string "phoenix" with
+  | Ok s -> check "phoenix parses" true (s = Config.Phoenix_like)
+  | Error _ -> Alcotest.fail "phoenix must parse");
+  (match Protocol.schedule_of_string "bogus" with
+  | Error (`Msg m) ->
+    check "unknown lists vocabulary" true
+      (List.for_all (contains m) [ "gco"; "do"; "maxov"; "phoenix"; "none" ])
+  | Ok _ -> Alcotest.fail "expected error for unknown schedule");
+  (match
+     Protocol.request_of_line
+       "{\"op\": \"compile\", \"source\": \"x\", \"schedule\": \"bogus\"}"
+   with
+  | Error e -> check_str "unknown schedule" "bad_request" e.Protocol.code
+  | Ok _ -> Alcotest.fail "expected bad_request");
+  match
+    Protocol.config_for ~backend:"it" ~device:"manhattan"
+      ~schedule:Config.Phoenix_like ~lint:Ph_lint.Diag.Off ~window:20 ()
+  with
+  | Error (`Msg m) -> check "it+phoenix refused" true (contains m "phoenix")
+  | Ok _ -> Alcotest.fail "expected error for it+phoenix"
+
 (* --- daemon semantics --- *)
 
 (* The response record must be byte-identical to a direct compile of the
@@ -327,6 +357,8 @@ let () =
             test_reader_eof_mid_line;
           Alcotest.test_case "malformed requests classified" `Quick
             test_request_of_line_errors;
+          Alcotest.test_case "schedule vocabulary and phoenix gating" `Quick
+            test_schedule_vocabulary;
         ] );
       ( "daemon",
         [

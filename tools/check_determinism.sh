@@ -24,7 +24,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-dirs="lib/core lib/schedule lib/synthesis lib/perf lib/pool lib/exec lib/gatelevel"
+dirs="lib/core lib/schedule lib/synthesis lib/perf lib/pool lib/exec lib/gatelevel lib/opt"
 
 # path:pattern pairs that are allowed to remain.  Every entry is a
 # timing-only site: the wall clock it reads lands in a field the
